@@ -1,0 +1,53 @@
+"""Figure 3 — time since first reception of an SCID (retransmission timing).
+
+Paper: peaks at each deployment's RTO ladder; initial RTOs are 1 s
+(Cloudflare), 0.4 s (Facebook), 0.3 s (Google); all use exponential
+backoff.
+"""
+
+import pytest
+from conftest import report
+
+from repro.core.report import render_histogram, render_table
+from repro.core.timing import gap_histogram, timing_profiles
+
+
+def test_fig3_rto(benchmark, capture_2022):
+    profiles = benchmark.pedantic(
+        timing_profiles, args=(capture_2022.backscatter,), rounds=1, iterations=1
+    )
+    histogram = gap_histogram(capture_2022.backscatter, bin_width=0.1, max_seconds=8.0)
+
+    sections = [
+        render_table(
+            ["Origin", "sessions", "initial RTO [s]", "backoff"],
+            [
+                [
+                    origin,
+                    profiles[origin].sessions,
+                    "%.2f" % profiles[origin].initial_rto,
+                    "%.2f" % profiles[origin].backoff_factor,
+                ]
+                for origin in ("Cloudflare", "Facebook", "Google", "Remaining")
+                if origin in profiles and profiles[origin].initial_rto is not None
+            ],
+            title="Figure 3: retransmission timing (paper: CF 1 s, FB 0.4 s,"
+            " GG 0.3 s, exponential backoff)",
+        )
+    ]
+    for origin in ("Facebook", "Google", "Cloudflare"):
+        series = sorted(histogram.get(origin, {}).items())[:30]
+        sections.append(
+            render_histogram(
+                [("%.1f" % t, n) for t, n in series],
+                width=36,
+                title="\n%s: datagrams since first SCID sighting (s)" % origin,
+            )
+        )
+    report("fig3_rto", "\n".join(sections))
+
+    assert profiles["Cloudflare"].initial_rto == pytest.approx(1.0, abs=0.07)
+    assert profiles["Facebook"].initial_rto == pytest.approx(0.4, abs=0.05)
+    assert profiles["Google"].initial_rto == pytest.approx(0.3, abs=0.05)
+    for origin in ("Cloudflare", "Facebook", "Google"):
+        assert profiles[origin].backoff_factor == pytest.approx(2.0, abs=0.25)

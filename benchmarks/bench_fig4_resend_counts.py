@@ -1,0 +1,48 @@
+"""Figure 4 — number of resent Initial/Handshake messages per connection.
+
+Paper: Facebook attempts the most reconnects (7-9), Google and Cloudflare
+3-6 — making Facebook more vulnerable to state-building INITIAL floods but
+also a richer backscatter source.
+"""
+
+from conftest import report
+
+from repro.core.report import render_histogram
+from repro.core.timing import resend_count_distribution, timing_profiles
+
+
+def test_fig4_resend_counts(benchmark, capture_2022):
+    distribution = benchmark.pedantic(
+        resend_count_distribution,
+        args=(capture_2022.backscatter,),
+        rounds=1,
+        iterations=1,
+    )
+    sections = []
+    for origin in ("Cloudflare", "Facebook", "Google", "Remaining"):
+        counts = distribution.get(origin)
+        if not counts:
+            continue
+        series = sorted(counts.items())
+        sections.append(
+            render_histogram(
+                series,
+                width=36,
+                title="%s: resent flights per connection" % origin,
+            )
+        )
+        sections.append("")
+    report(
+        "fig4_resend_counts",
+        "Figure 4 (paper: FB 7-9 resends, GG/CF 3-6)\n\n" + "\n".join(sections),
+    )
+
+    profiles = timing_profiles(capture_2022.backscatter)
+    fb = profiles["Facebook"].resend_range
+    gg = profiles["Google"].resend_range
+    cf = profiles["Cloudflare"].resend_range
+    assert 7 <= fb[0] <= fb[1] <= 9
+    assert 3 <= gg[0] <= gg[1] <= 6
+    assert 3 <= cf[0] <= cf[1] <= 6
+    # Facebook is the most persistent — the paper's vulnerability claim.
+    assert fb[1] > max(gg[1], cf[1])

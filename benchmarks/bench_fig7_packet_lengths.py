@@ -1,0 +1,42 @@
+"""Figure 7 — top-7 QUIC packet lengths per content provider.
+
+Paper: each hypergiant shows a distinct pattern of packet lengths;
+comma-separated values are packets coalesced into one UDP datagram;
+"Remaining" traffic shares Facebook's and Google's signatures (their
+off-nets live there).
+"""
+
+from conftest import report
+
+from repro.core.packet_mix import top_length_signatures
+from repro.core.report import render_histogram
+
+
+def test_fig7_packet_lengths(benchmark, capture_2022):
+    tops = benchmark.pedantic(
+        top_length_signatures,
+        args=(capture_2022.backscatter,),
+        kwargs={"top": 7},
+        rounds=1,
+        iterations=1,
+    )
+    sections = ["Figure 7 (paper: distinct per-provider length patterns)"]
+    for origin in ("Cloudflare", "Facebook", "Google", "Remaining"):
+        sections.append(
+            render_histogram(
+                tops.get(origin, []),
+                width=36,
+                title="\n%s: top QUIC packet-length combinations" % origin,
+            )
+        )
+    report("fig7_packet_lengths", "\n".join(sections))
+
+    facebook = [sig for sig, _ in tops["Facebook"]]
+    google = [sig for sig, _ in tops["Google"]]
+    remaining = [sig for sig, _ in tops["Remaining"]]
+    # Facebook never coalesces; Google's top signature is a coalesced pair.
+    assert all("," not in sig for sig in facebook)
+    assert any("," in sig for sig in google)
+    assert google[0].count(",") == 1
+    # Remaining shares Facebook's signatures via off-nets (paper's note).
+    assert set(facebook) & set(remaining)

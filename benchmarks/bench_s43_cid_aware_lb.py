@@ -1,0 +1,52 @@
+"""§4.3-d — CID-aware load balancing only at Google (Appendix D method).
+
+Paper: follow-up handshakes towards the same VIP with a different 5-tuple
+but the same server CID fail for ~240 s at Google (same instance keeps the
+state) and complete immediately at Facebook (a new 5-tuple reaches a new
+L7LB).
+"""
+
+import statistics
+
+from conftest import report
+
+from repro.active.lb_inference import classify_lb
+from repro.core.report import render_table
+
+
+def test_cid_aware_lb(benchmark, lb_outcomes):
+    def classify_all():
+        return {
+            hypergiant: [classify_lb(outcome) for outcome in outcomes]
+            for hypergiant, outcomes in lb_outcomes.items()
+        }
+
+    verdicts = benchmark.pedantic(classify_all, rounds=1, iterations=1)
+    rows = []
+    for hypergiant, outcomes in lb_outcomes.items():
+        delays = [o.delay for o in outcomes if o.delay is not None]
+        rows.append(
+            [
+                hypergiant,
+                len(outcomes),
+                "%.1f" % statistics.median(delays),
+                "%.1f" % max(delays),
+                verdicts[hypergiant][0],
+            ]
+        )
+    report(
+        "s43_cid_aware_lb",
+        render_table(
+            ["Provider", "VIPs probed", "median delay [s]", "max [s]", "LB type"],
+            rows,
+            title="§4.3 LB inference (paper: Google fails ~240 s -> CID-aware;"
+            " Facebook immediate -> 5-tuple)",
+        ),
+    )
+
+    google_delays = [o.delay for o in lb_outcomes["Google"]]
+    facebook_delays = [o.delay for o in lb_outcomes["Facebook"]]
+    assert all(200 < d < 280 for d in google_delays)
+    assert all(d < 10 for d in facebook_delays)
+    assert set(verdicts["Google"]) == {"cid-aware"}
+    assert set(verdicts["Facebook"]) == {"5-tuple"}

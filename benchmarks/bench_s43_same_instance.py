@@ -1,0 +1,49 @@
+"""§4.3-c — distinct host IDs are distinct L7LB instances (Appendix D).
+
+Paper: Facebook servers track QUIC connection state per host and worker;
+a follow-up handshake that reaches a *different* host ID completes
+immediately and its SCID encodes new host/worker IDs.
+"""
+
+from conftest import report
+
+from repro.active.lb_inference import same_instance_probe
+from repro.active.prober import Prober
+from repro.core.report import render_table
+from repro.workloads.scenario import build_lb_lab
+
+
+def test_same_instance(benchmark):
+    lab = build_lb_lab(google_hosts=8, facebook_hosts=8, seed=777)
+    prober = Prober(lab.loop, lab.network)
+    vips = lab.vips("Facebook")[:6]
+
+    def run():
+        return [same_instance_probe(prober, vip) for vip in vips]
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [
+        [
+            i,
+            r.first_host_id,
+            r.first_worker_id,
+            r.followup_host_id,
+            r.followup_worker_id,
+            r.reached_new_instance,
+        ]
+        for i, r in enumerate(results)
+    ]
+    report(
+        "s43_same_instance",
+        render_table(
+            ["probe", "host", "worker", "follow-up host", "follow-up worker", "new instance"],
+            rows,
+            title="§4.3 same-instance detection (paper: different host IDs"
+            " are individual L7LBs; state is per host+worker)",
+        ),
+    )
+    # Every follow-up that changed host (or worker) completed immediately.
+    assert all(not r.followup_delayed for r in results)
+    assert any(r.followup_host_id != r.first_host_id for r in results)
+    new_instances = [r for r in results if r.reached_new_instance]
+    assert len(new_instances) >= len(results) - 1

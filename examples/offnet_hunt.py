@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Hunt hidden Facebook off-net caches in backscatter (§4.2, Table 6).
+
+Simulates a month in which Facebook off-net caches — deployed inside ISP
+networks, invisible to AS-based mapping — answer spoofed floods alongside
+a hundred unrelated QUIC servers.  The hunt:
+
+1. builds per-server feature vectors from backscatter (SCID structure,
+   retransmission inter-arrival time, coalescence, packet lengths);
+2. scores all nine Table-6 classifier combinations against certificate
+   ground truth;
+3. shows how the low-host-ID refinement slashes false positives.
+
+Run:  python examples/offnet_hunt.py
+"""
+
+from repro.core.offnet import evaluate_classifiers, extract_features
+from repro.core.report import render_table
+from repro.inetdata.hypergiants import FACEBOOK
+from repro.netstack.addr import format_ip
+from repro.workloads.scenario import ScenarioConfig, build_scenario
+
+
+def main() -> None:
+    config = ScenarioConfig().scaled(0.35)
+    scenario = build_scenario(config)
+    scenario.run()
+    capture = scenario.classify()
+
+    features = extract_features(capture.backscatter)
+    print(
+        "Observed %d backscatter-emitting servers outside hypergiant ASes."
+        % len(features)
+    )
+
+    # The candidates the paper's best predictor surfaces.
+    candidates = sorted(
+        addr for addr, f in features.items() if f.low_host_id()
+    )
+    print("\nLow-host-ID mvfst candidates (verified via certificates):")
+    for addr in candidates[:12]:
+        verified = scenario.certstore.operated_by(addr, FACEBOOK)
+        print(
+            "  %-16s %s"
+            % (format_ip(addr), "CONFIRMED Facebook" if verified else "false positive")
+        )
+    if len(candidates) > 12:
+        print("  … and %d more" % (len(candidates) - 12))
+
+    metrics = evaluate_classifiers(features, scenario.certstore)
+    print()
+    print(
+        render_table(
+            ["Classifier", "TPR", "FPR", "Precision"],
+            [
+                [m.name, "%.3f" % m.tpr, "%.3f" % m.fpr, "%.3f" % m.precision]
+                for m in metrics
+            ],
+            title="Off-net classification performance (paper Table 6)",
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

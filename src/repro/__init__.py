@@ -1,0 +1,37 @@
+"""repro — passive measurement toolchain for QUIC deployments.
+
+A full reproduction of "Waiting for QUIC: On the Opportunities of Passive
+Measurements to Understand QUIC Deployments": a from-scratch QUIC wire
+stack (RFC 8999/9000/9001 Initial crypto included), an Internet/telescope
+simulator with hypergiant server and load-balancer models, and the passive
+analysis pipeline that recovers deployment configurations from backscatter.
+
+Quickstart::
+
+    from repro.workloads.scenario import build_scenario
+    from repro.core.timing import timing_profiles
+
+    scenario = build_scenario()
+    scenario.run()
+    capture = scenario.classify()
+    for origin, profile in timing_profiles(capture.backscatter).items():
+        print(origin, profile.initial_rto, profile.resend_range)
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-measured record of every table and figure.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "quic",
+    "tls",
+    "netstack",
+    "inetdata",
+    "simnet",
+    "server",
+    "workloads",
+    "telescope",
+    "core",
+    "active",
+]

@@ -1,0 +1,92 @@
+"""Client-migration experiments (paper §2.2's motivating problem).
+
+QUIC lets an established client change its 5-tuple (NAT rebinding, Wi-Fi
+to cellular) and even rotate to a fresh connection ID.  Whether the
+connection survives depends entirely on the load-balancer fabric:
+
+* **5-tuple routing** (Facebook): any path change rehashes to a different
+  L7LB, which holds no state → the probe gets a stateless reset.
+* **CID-aware routing** (Google): migration with the *same* CID reaches
+  the same L7LB and survives; but a *rotated* CID (random, no encoded
+  information) hashes elsewhere → broken again.
+* **QUIC-LB routable CIDs** (IETF draft): every CID the deployment mints
+  encodes the backend, so both migrations survive.
+
+``migration_probe`` measures exactly this, completing the paper's §2.2
+argument for why information encoding in CIDs is unavoidable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.active.prober import Prober
+
+
+@dataclass
+class MigrationOutcome:
+    """Result of one migration probe."""
+
+    vip: int
+    rotated_cid: bool
+    survived: bool
+    new_cid_available: bool
+
+
+def migration_probe(
+    prober: Prober,
+    vip: int,
+    rotate_cid: bool = False,
+    wait: float = 2.0,
+) -> MigrationOutcome:
+    """Handshake, then ping from a new 5-tuple (optionally on a new CID)."""
+    result = prober.handshake(vip)
+    if not result.completed:
+        raise RuntimeError("handshake to VIP did not complete")
+    connection = prober.last_connection
+    assert connection is not None
+    # Give the server's NEW_CONNECTION_ID time to arrive.
+    prober.advance(0.3)
+
+    dcid = None
+    if rotate_cid:
+        if not connection.result.new_connection_ids:
+            return MigrationOutcome(
+                vip=vip, rotated_cid=True, survived=False, new_cid_available=False
+            )
+        dcid = connection.result.new_connection_ids[0]
+
+    new_port = prober.take_port()
+    prober.host.register_alias(new_port, connection)
+    pongs_before = connection.result.pongs
+    prober.host.send_raw(connection.migration_datagram(new_port, dcid=dcid))
+    prober.advance(wait)
+    return MigrationOutcome(
+        vip=vip,
+        rotated_cid=rotate_cid,
+        survived=connection.result.pongs > pongs_before,
+        new_cid_available=bool(connection.result.new_connection_ids),
+    )
+
+
+def migration_matrix(
+    prober_by_deployment: dict[str, tuple[Prober, list[int]]],
+    probes_per_cell: int = 8,
+) -> dict[str, dict[str, float]]:
+    """Survival rates for every (deployment, migration kind) combination.
+
+    Returns ``{deployment: {"same_cid": rate, "rotated_cid": rate}}``.
+    """
+    matrix: dict[str, dict[str, float]] = {}
+    for deployment, (prober, vips) in prober_by_deployment.items():
+        cells = {}
+        for label, rotate in (("same_cid", False), ("rotated_cid", True)):
+            survived = 0
+            for i in range(probes_per_cell):
+                outcome = migration_probe(
+                    prober, vips[i % len(vips)], rotate_cid=rotate
+                )
+                survived += outcome.survived
+            cells[label] = survived / probes_per_cell
+        matrix[deployment] = cells
+    return matrix

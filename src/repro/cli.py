@@ -1,0 +1,304 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Four commands cover the toolchain end to end:
+
+* ``simulate`` — build a telescope measurement month and write the capture
+  to a standard pcap file;
+* ``classify`` — run the sanitization pipeline over a pcap and print what
+  was kept and removed;
+* ``analyze``  — reproduce the paper's tables from a pcap;
+* ``probe``    — run the active-measurement experiments against a
+  simulated deployment (host-ID enumeration, LB-type inference,
+  migration survival).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.core.packet_mix import TABLE3_ROWS, packet_mix, top_length_signatures
+from repro.core.report import render_histogram, render_table
+from repro.core.scid_stats import table4
+from repro.core.summary import HYPERGIANT_COLUMNS, summarize
+from repro.core.timing import timing_profiles
+from repro.core.versions import TABLE2_ROWS, table2
+from repro.inetdata.asdb import AsDatabase, AsEntry
+from repro.netstack.pcap import read_pcap
+from repro.telescope.acknowledged import AcknowledgedScanners
+from repro.telescope.classify import ClassifiedCapture, classify_capture
+from repro.workloads.scenario import (
+    RESEARCH_NETWORKS,
+    ScenarioConfig,
+    april_2021_config,
+    build_scenario,
+)
+
+ORIGINS = ("Cloudflare", "Facebook", "Google", "Remaining")
+
+
+def _default_asdb() -> AsDatabase:
+    from repro.workloads.scenario import ISP_NETWORKS
+
+    asdb = AsDatabase.with_hypergiants()
+    for asn, name, prefix in ISP_NETWORKS:
+        asdb.register(prefix, AsEntry(asn, name, category="isp"))
+    return asdb
+
+
+def _default_acknowledged() -> AcknowledgedScanners:
+    scanners = AcknowledgedScanners()
+    for prefix, name in RESEARCH_NETWORKS:
+        scanners.register(prefix, name)
+    return scanners
+
+
+def _load_capture(path: str) -> ClassifiedCapture:
+    records = read_pcap(path)
+    return classify_capture(
+        records, asdb=_default_asdb(), acknowledged=_default_acknowledged()
+    )
+
+
+# ---------------------------------------------------------------------------
+# Commands
+# ---------------------------------------------------------------------------
+
+
+def cmd_simulate(args: argparse.Namespace) -> int:
+    config = (
+        april_2021_config(seed=args.seed)
+        if args.year == 2021
+        else ScenarioConfig(seed=args.seed)
+    )
+    config = config.scaled(args.scale)
+    print("Simulating %d (scale %.2f, seed %d)…" % (args.year, args.scale, args.seed))
+    scenario = build_scenario(config)
+    scenario.run()
+    with open(args.output, "wb") as fileobj:
+        scenario.telescope.write_pcap(fileobj)
+    print(
+        "Wrote %d captured packets to %s"
+        % (len(scenario.telescope.records), args.output)
+    )
+    return 0
+
+
+def cmd_classify(args: argparse.Namespace) -> int:
+    capture = _load_capture(args.pcap)
+    stats = capture.stats
+    print(
+        render_table(
+            ["stage", "packets"],
+            [
+                ["raw records", stats.total_records],
+                ["non-UDP", stats.non_udp],
+                ["non-443", stats.non_port_443],
+                ["failed dissection", stats.failed_dissection],
+                ["acknowledged scanners", stats.acknowledged_scanner],
+                ["backscatter kept", stats.backscatter],
+                ["scans kept", stats.scans],
+            ],
+            title="Sanitization of %s (removed %.0f%%)"
+            % (args.pcap, 100 * stats.removed_share),
+        )
+    )
+    return 0
+
+
+def cmd_analyze(args: argparse.Namespace) -> int:
+    capture = _load_capture(args.pcap)
+    wanted = set(args.tables) if args.tables else {"1", "2", "3", "4"}
+
+    if "1" in wanted:
+        summary = summarize(capture.backscatter)
+        print(
+            render_table(
+                ["Feature"] + list(HYPERGIANT_COLUMNS),
+                [
+                    ["Coalescence"]
+                    + [summary[h].coalescence for h in HYPERGIANT_COLUMNS],
+                    ["Server-chosen IDs"]
+                    + [summary[h].server_chosen_ids for h in HYPERGIANT_COLUMNS],
+                    ["Structured SCIDs"]
+                    + [summary[h].structured_scids for h in HYPERGIANT_COLUMNS],
+                    ["Initial RTO"]
+                    + [summary[h].rto_label() for h in HYPERGIANT_COLUMNS],
+                    ["# re-transmissions"]
+                    + [summary[h].resend_label() for h in HYPERGIANT_COLUMNS],
+                ],
+                title="Table 1 — deployment configurations",
+            )
+        )
+        print()
+    if "2" in wanted:
+        shares = table2(capture)
+        print(
+            render_table(
+                ["QUIC version", "Clients [%]", "Servers [%]"],
+                [
+                    [
+                        bucket,
+                        "%.1f" % shares["clients"].share(bucket),
+                        "%.1f" % shares["servers"].share(bucket),
+                    ]
+                    for bucket in TABLE2_ROWS
+                ],
+                title="Table 2 — version adoption",
+            )
+        )
+        print()
+    if "3" in wanted:
+        mix = packet_mix(capture.backscatter + capture.scans)
+        print(
+            render_table(
+                ["Packet type"] + list(ORIGINS),
+                [
+                    [cat] + ["%.2f" % mix.share(o, cat) for o in ORIGINS]
+                    for cat in TABLE3_ROWS
+                ],
+                title="Table 3 — packet types per source network [%]",
+            )
+        )
+        print()
+    if "4" in wanted:
+        stats = table4(capture.backscatter)
+        print(
+            render_table(
+                ["Origin AS", "SCID length", "Unique SCIDs"],
+                [
+                    [o, stats[o].length_summary(), stats[o].unique_count]
+                    for o in ORIGINS
+                    if o in stats
+                ],
+                title="Table 4 — SCID statistics",
+            )
+        )
+        print()
+    if "rto" in wanted:
+        profiles = timing_profiles(capture.backscatter)
+        print(
+            render_table(
+                ["Origin", "sessions", "initial RTO [s]", "resends"],
+                [
+                    [
+                        o,
+                        profiles[o].sessions,
+                        "%.2f" % (profiles[o].initial_rto or 0),
+                        str(profiles[o].resend_range),
+                    ]
+                    for o in ORIGINS
+                    if o in profiles
+                ],
+                title="Figure 3/4 — retransmission behaviour",
+            )
+        )
+        print()
+    if "lengths" in wanted:
+        for origin, entries in top_length_signatures(capture.backscatter).items():
+            print(render_histogram(entries, width=30, title=origin))
+            print()
+    return 0
+
+
+def cmd_probe(args: argparse.Namespace) -> int:
+    from repro.active.lb_inference import classify_lb, follow_up_delay
+    from repro.active.migration import migration_probe
+    from repro.active.prober import Prober
+    from repro.core.l7lb import convergence_curve
+    from repro.workloads.scenario import build_lb_lab
+
+    lab = build_lb_lab(
+        google_hosts=args.hosts,
+        facebook_hosts=args.hosts,
+        quic_lb_hosts=args.hosts,
+        seed=args.seed,
+    )
+    prober = Prober(lab.loop, lab.network)
+    if args.experiment == "enumerate":
+        vip = lab.vips("Facebook")[0]
+        ids = prober.enumerate_host_ids(vip, args.handshakes)
+        curve = convergence_curve([h for h in ids if h is not None])
+        print(
+            "Enumerated %d L7LBs behind one VIP in %d handshakes"
+            % (curve.total, len(ids))
+        )
+        for checkpoint in (50, 100, 200, len(ids)):
+            if checkpoint <= len(ids):
+                print(
+                    "  after %5d handshakes: %5.1f%% of host IDs"
+                    % (checkpoint, 100 * curve.coverage_at(checkpoint))
+                )
+    elif args.experiment == "lb-type":
+        for name in ("Facebook", "Google"):
+            outcome = follow_up_delay(prober, lab.vips(name)[0], max_wait=400.0)
+            print(
+                "%-9s follow-up succeeded after %6.1f s -> %s"
+                % (name, outcome.delay, classify_lb(outcome))
+            )
+    elif args.experiment == "migration":
+        for name in ("Facebook", "Google", "QuicLB"):
+            same = migration_probe(prober, lab.vips(name)[0])
+            rotated = migration_probe(prober, lab.vips(name)[1], rotate_cid=True)
+            print(
+                "%-9s same-CID migration: %-9s rotated-CID: %s"
+                % (
+                    name,
+                    "survived" if same.survived else "broken",
+                    "survived" if rotated.survived else "broken",
+                )
+            )
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# Entry point
+# ---------------------------------------------------------------------------
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Passive measurement toolchain for QUIC deployments.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    simulate = sub.add_parser("simulate", help="simulate a month, write pcap")
+    simulate.add_argument("output", help="pcap file to write")
+    simulate.add_argument("--year", type=int, choices=(2021, 2022), default=2022)
+    simulate.add_argument("--scale", type=float, default=0.25)
+    simulate.add_argument("--seed", type=int, default=20220101)
+    simulate.set_defaults(func=cmd_simulate)
+
+    classify = sub.add_parser("classify", help="sanitize a pcap, print stats")
+    classify.add_argument("pcap")
+    classify.set_defaults(func=cmd_classify)
+
+    analyze = sub.add_parser("analyze", help="reproduce tables from a pcap")
+    analyze.add_argument("pcap")
+    analyze.add_argument(
+        "--tables",
+        nargs="*",
+        choices=("1", "2", "3", "4", "rto", "lengths"),
+        help="which outputs to print (default: 1 2 3 4)",
+    )
+    analyze.set_defaults(func=cmd_analyze)
+
+    probe = sub.add_parser("probe", help="run active experiments against a lab")
+    probe.add_argument(
+        "experiment", choices=("enumerate", "lb-type", "migration")
+    )
+    probe.add_argument("--hosts", type=int, default=12)
+    probe.add_argument("--handshakes", type=int, default=500)
+    probe.add_argument("--seed", type=int, default=7)
+    probe.set_defaults(func=cmd_probe)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,45 @@
+"""Cloudflare colo fingerprinting — an extension of the paper's §4.2.
+
+The paper establishes that Cloudflare's 20-byte SCIDs carry structure but
+stops at the fixed first byte.  Under this library's documented model
+(bytes 1-2 = colo ID, byte 3 = metal ID), the same passive data also
+quantifies Cloudflare *points of presence* and per-colo server counts —
+the Cloudflare analogue of the Facebook L7LB enumeration.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+
+from repro.quic.cid.cloudflare import decode_colo_id, looks_like_cloudflare
+from repro.telescope.classify import CapturedPacket
+
+
+@dataclass
+class ColoView:
+    """Passively observed Cloudflare colo structure."""
+
+    #: colo ID → metal (server) IDs observed.
+    metals_by_colo: dict[int, set[int]]
+
+    @property
+    def colo_count(self) -> int:
+        return len(self.metals_by_colo)
+
+    def metal_counts(self) -> dict[int, int]:
+        return {colo: len(metals) for colo, metals in self.metals_by_colo.items()}
+
+
+def cloudflare_colos(
+    packets: list[CapturedPacket], origin: str = "Cloudflare"
+) -> ColoView:
+    """Extract colo/metal structure from Cloudflare backscatter SCIDs."""
+    metals: dict[int, set[int]] = defaultdict(set)
+    for packet in packets:
+        if packet.origin != origin:
+            continue
+        for parsed in packet.packets:
+            if looks_like_cloudflare(parsed.scid):
+                metals[decode_colo_id(parsed.scid)].add(parsed.scid[3])
+    return ColoView(metals_by_colo=dict(metals))

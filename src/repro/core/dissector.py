@@ -1,0 +1,124 @@
+"""Wireshark-equivalent QUIC dissection for sanitization.
+
+The paper removes UDP/443 false positives "based on the packet payload
+using Wireshark dissectors".  This module reimplements that decision:
+
+* structural validation of the long header chain (form/fixed bits, a
+  version from a known family, sane CID lengths, a Length field consistent
+  with the datagram), and
+* for client Initials, *cryptographic* validation: Initial keys are
+  derivable from the DCID alone (RFC 9001 §5.2), so a dissector can attempt
+  to unprotect the payload exactly like Wireshark does.
+
+Server Initials cannot be decrypted passively (their keys derive from the
+*client's* original DCID, which backscatter does not contain), so for
+backscatter the structural check is the operative one — same as Wireshark.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.quic.crypto.suites import (
+    FastProtection,
+    ProtectionError,
+    Rfc9001Protection,
+)
+from repro.quic.packet import (
+    PacketParseError,
+    PacketType,
+    ParsedLongHeader,
+    decode_datagram,
+    unprotect_packet,
+)
+from repro.quic.version import lookup as lookup_version
+
+#: Families the dissector accepts as "known QUIC".
+_KNOWN_FAMILIES = {"v1", "v2", "draft", "mvfst", "gquic", "reserved"}
+
+#: Suites tried (in order) when cryptographically validating a client
+#: Initial.  FastProtection first: it is the bulk-simulation default.
+VALIDATION_SUITES = (FastProtection, Rfc9001Protection)
+
+
+class DissectError(ValueError):
+    """Raised when a UDP payload is not valid QUIC."""
+
+
+@dataclass
+class DissectedDatagram:
+    """Dissection result for one UDP payload."""
+
+    packets: list[ParsedLongHeader]
+    #: True if a client Initial was decrypted successfully (crypto-validated).
+    crypto_validated: bool = False
+
+    @property
+    def packet_types(self) -> tuple[PacketType, ...]:
+        return tuple(p.packet_type for p in self.packets)
+
+    @property
+    def coalesced(self) -> bool:
+        return len(self.packets) > 1
+
+
+def dissect_datagram(payload: bytes, validate_crypto: bool = False) -> DissectedDatagram:
+    """Dissect a UDP payload; raise :class:`DissectError` if it is not QUIC."""
+    if len(payload) < 7:  # smallest conceivable long header
+        raise DissectError("payload too short for a QUIC long header")
+    try:
+        packets = decode_datagram(payload)
+    except PacketParseError as exc:
+        raise DissectError(str(exc)) from exc
+
+    for parsed, _raw in packets:
+        version = lookup_version(parsed.version)
+        if parsed.packet_type is PacketType.VERSION_NEGOTIATION:
+            if not parsed.supported_versions:
+                raise DissectError("version negotiation without versions")
+            continue
+        if version.family not in _KNOWN_FAMILIES:
+            raise DissectError("unknown QUIC version 0x%08x" % parsed.version)
+        if parsed.packet_type in (PacketType.INITIAL, PacketType.HANDSHAKE):
+            # The protected payload must hold a packet number sample and tag.
+            if parsed.payload_length < 1 + 4 + 16:
+                raise DissectError("protected payload implausibly short")
+
+    crypto_ok = False
+    if validate_crypto:
+        crypto_ok = _validate_client_initial(packets)
+        if not crypto_ok:
+            raise DissectError("Initial payload fails AEAD validation")
+    return DissectedDatagram(
+        packets=[p for p, _raw in packets], crypto_validated=crypto_ok
+    )
+
+
+def _validate_client_initial(packets) -> bool:
+    """Try to unprotect the first client Initial with the known suites.
+
+    Datagrams without an Initial (e.g. replayed 0-RTT) cannot be validated
+    cryptographically — their keys are not derivable — so they pass on the
+    structural checks alone, as in Wireshark.
+    """
+    for parsed, raw in packets:
+        if parsed.packet_type is not PacketType.INITIAL:
+            continue
+        for suite_cls in VALIDATION_SUITES:
+            try:
+                suite = suite_cls(parsed.version, parsed.dcid)
+                unprotect_packet(parsed, raw, suite, from_server=False)
+                return True
+            except (ProtectionError, PacketParseError):
+                continue
+        return False
+    return True
+
+
+def is_quic_datagram(payload: bytes, validate_crypto: bool = False) -> bool:
+    """Boolean form of :func:`dissect_datagram`."""
+    try:
+        dissect_datagram(payload, validate_crypto=validate_crypto)
+        return True
+    except DissectError:
+        return False

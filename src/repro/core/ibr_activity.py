@@ -1,0 +1,113 @@
+"""Internet-background-radiation activity analysis.
+
+The paper builds on the observation (QUICsand, IMC'21) that QUIC IBR
+consists of scans and INITIAL-flood backscatter.  This module recovers the
+*events* behind a capture: per-victim backscatter bursts (one per attack),
+their duration and intensity, and the overall activity time series — the
+groundwork for "will QUIC backscatter persist" style arguments (§5).
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from dataclasses import dataclass, field
+
+from repro.telescope.classify import CapturedPacket
+
+
+@dataclass
+class FloodEvent:
+    """One backscatter burst attributed to a single victim address."""
+
+    victim: int
+    origin: str
+    start: float
+    end: float
+    packets: int
+    #: Distinct spoofed (telescope) addresses the victim answered.
+    spoofed_targets: int
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+    @property
+    def rate(self) -> float:
+        """Packets per second over the event window."""
+        return self.packets / self.duration if self.duration > 0 else float(self.packets)
+
+
+def activity_series(
+    packets: list[CapturedPacket], bin_width: float = 60.0
+) -> dict[float, int]:
+    """Packets per time bin — the capture's activity curve."""
+    series: Counter = Counter()
+    for packet in packets:
+        series[round(packet.timestamp // bin_width * bin_width, 6)] += 1
+    return dict(sorted(series.items()))
+
+
+def detect_flood_events(
+    packets: list[CapturedPacket],
+    quiet_gap: float = 120.0,
+    min_packets: int = 10,
+) -> list[FloodEvent]:
+    """Split each victim's backscatter into bursts separated by quiet gaps.
+
+    A victim (backscatter source address) that stays silent for more than
+    ``quiet_gap`` seconds starts a new event; events smaller than
+    ``min_packets`` are discarded as noise.
+    """
+    by_victim: dict[int, list[CapturedPacket]] = defaultdict(list)
+    for packet in packets:
+        by_victim[packet.src_ip].append(packet)
+
+    events: list[FloodEvent] = []
+    for victim, victim_packets in by_victim.items():
+        victim_packets.sort(key=lambda p: p.timestamp)
+        bucket: list[CapturedPacket] = []
+        for packet in victim_packets:
+            if bucket and packet.timestamp - bucket[-1].timestamp > quiet_gap:
+                event = _close_event(victim, bucket)
+                if event.packets >= min_packets:
+                    events.append(event)
+                bucket = []
+            bucket.append(packet)
+        if bucket:
+            event = _close_event(victim, bucket)
+            if event.packets >= min_packets:
+                events.append(event)
+    events.sort(key=lambda e: (e.start, e.victim))
+    return events
+
+
+def _close_event(victim: int, bucket: list[CapturedPacket]) -> FloodEvent:
+    return FloodEvent(
+        victim=victim,
+        origin=bucket[0].origin,
+        start=bucket[0].timestamp,
+        end=bucket[-1].timestamp,
+        packets=len(bucket),
+        spoofed_targets=len({p.dst_ip for p in bucket}),
+    )
+
+
+@dataclass
+class IbrSummary:
+    """Aggregate view of one capture's attack landscape."""
+
+    events: list[FloodEvent]
+
+    @property
+    def victims(self) -> int:
+        return len({e.victim for e in self.events})
+
+    def events_per_origin(self) -> Counter:
+        return Counter(e.origin for e in self.events)
+
+    def busiest(self, top: int = 5) -> list[FloodEvent]:
+        return sorted(self.events, key=lambda e: e.packets, reverse=True)[:top]
+
+
+def summarize_ibr(packets: list[CapturedPacket], **kwargs) -> IbrSummary:
+    return IbrSummary(events=detect_flood_events(packets, **kwargs))

@@ -1,0 +1,54 @@
+"""Plain-text table rendering for benches, examples, and EXPERIMENTS.md."""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+
+def format_cell(value) -> str:
+    if isinstance(value, float):
+        return "%.3f" % value
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    return str(value)
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence],
+    title: str = "",
+) -> str:
+    """Render an aligned ASCII table."""
+    formatted = [[format_cell(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in formatted:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells)).rstrip()
+
+    out = []
+    if title:
+        out.append(title)
+        out.append("=" * len(title))
+    out.append(line(headers))
+    out.append(line(["-" * w for w in widths]))
+    out.extend(line(row) for row in formatted)
+    return "\n".join(out)
+
+
+def render_histogram(
+    pairs: Iterable[tuple], width: int = 40, title: str = ""
+) -> str:
+    """Render (label, count) pairs as a horizontal ASCII bar chart."""
+    pairs = list(pairs)
+    if not pairs:
+        return title + "\n(empty)" if title else "(empty)"
+    peak = max(count for _label, count in pairs) or 1
+    label_width = max(len(str(label)) for label, _count in pairs)
+    out = [title] if title else []
+    for label, count in pairs:
+        bar = "#" * max(1 if count else 0, round(width * count / peak))
+        out.append("%s  %6d  %s" % (str(label).rjust(label_width), count, bar))
+    return "\n".join(out)

@@ -1,0 +1,132 @@
+"""SCID nybble-frequency analysis (paper Figure 5).
+
+If a deployment encodes information in its connection IDs, some nybble
+positions stop being uniform.  The paper plots the relative frequency of
+each nybble value (0-15) at each position: Google's SCIDs are flat at
+1/16 everywhere, Facebook's first bytes show strong structure.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+try:
+    import numpy as np
+except ImportError:  # pragma: no cover
+    np = None
+
+UNIFORM = 1.0 / 16.0
+
+
+@dataclass
+class NybbleMatrix:
+    """Relative frequency of each nybble value at each position."""
+
+    #: ``freq[position][value]`` — positions × 16 relative frequencies.
+    freq: list[list[float]]
+    sample_size: int
+    #: SCIDs contributing to each position (shorter IDs skip tail positions).
+    position_totals: list[int] = None  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if self.position_totals is None:
+            self.position_totals = [self.sample_size] * len(self.freq)
+
+    @property
+    def positions(self) -> int:
+        return len(self.freq)
+
+    def deviation(self) -> float:
+        """Mean absolute deviation from the uniform 1/16 across all cells."""
+        if not self.freq:
+            return 0.0
+        total = sum(
+            abs(value - UNIFORM) for row in self.freq for value in row
+        )
+        return total / (16 * len(self.freq))
+
+    def max_cell(self) -> float:
+        return max((value for row in self.freq for value in row), default=0.0)
+
+    def hot_positions(self, threshold: float = 0.25) -> list[int]:
+        """Positions where some value occurs suspiciously often."""
+        return [
+            i for i, row in enumerate(self.freq) if max(row, default=0.0) >= threshold
+        ]
+
+    def entropy_per_position(self) -> list[float]:
+        """Shannon entropy (bits) of each nybble position; 4.0 = random."""
+        out = []
+        for row in self.freq:
+            h = -sum(p * math.log2(p) for p in row if p > 0)
+            out.append(h)
+        return out
+
+
+def nybbles(scid: bytes) -> list[int]:
+    """Split a connection ID into its nybble sequence (high nybble first)."""
+    out = []
+    for byte in scid:
+        out.append(byte >> 4)
+        out.append(byte & 0x0F)
+    return out
+
+
+def nybble_matrix(scids: set[bytes] | list[bytes]) -> NybbleMatrix:
+    """Frequency matrix over a population of equal-or-mixed-length SCIDs.
+
+    Positions beyond a shorter SCID's length simply accumulate fewer
+    samples; each row is normalized by its own sample count.
+    """
+    scid_list = list(scids)
+    if not scid_list:
+        return NybbleMatrix(freq=[], sample_size=0)
+    max_positions = max(len(s) for s in scid_list) * 2
+    counts = [[0] * 16 for _ in range(max_positions)]
+    totals = [0] * max_positions
+    for scid in scid_list:
+        for position, value in enumerate(nybbles(scid)):
+            counts[position][value] += 1
+            totals[position] += 1
+    freq = [
+        [c / totals[pos] if totals[pos] else 0.0 for c in counts[pos]]
+        for pos in range(max_positions)
+    ]
+    return NybbleMatrix(
+        freq=freq, sample_size=len(scid_list), position_totals=totals
+    )
+
+
+def is_structured(matrix: NybbleMatrix, chi_threshold: float = 60.0) -> bool:
+    """Table 1's "structured SCIDs" checkmark.
+
+    A nybble position of uniformly random IDs has a chi-square statistic
+    with 15 degrees of freedom (mean 15, sd ~5.5) against the uniform
+    expectation; a position encoding information (a fixed scheme byte, a
+    host ID) blows far past that at any realistic sample size.  Flag the
+    population as structured if *any* position exceeds ``chi_threshold``
+    (~8 standard deviations above random).  Works equally for Cloudflare's
+    ~170 observed SCIDs and Google's hundred-thousand.
+    """
+    if matrix.sample_size < 8 or not matrix.freq:
+        return False
+    return max(chi_square_uniformity(matrix)) > chi_threshold
+
+
+def chi_square_uniformity(matrix: NybbleMatrix) -> list[float]:
+    """Per-position chi-square statistic against the uniform distribution.
+
+    With 15 degrees of freedom, values far above ~25 reject uniformity;
+    returned per position so callers can locate the encoded fields.
+    """
+    out = []
+    for position, row in enumerate(matrix.freq):
+        n = matrix.position_totals[position]
+        expected = n * UNIFORM
+        if expected <= 0:
+            out.append(0.0)
+            continue
+        stat = sum((p * n - expected) ** 2 / expected for p in row)
+        out.append(stat)
+    return out

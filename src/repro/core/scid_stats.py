@@ -1,0 +1,63 @@
+"""SCID length statistics per origin AS (paper Table 4)."""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from dataclasses import dataclass
+
+from repro.quic.packet import PacketType
+from repro.telescope.classify import CapturedPacket
+
+
+@dataclass
+class ScidStats:
+    """SCID observations for one origin network."""
+
+    origin: str
+    unique_scids: set[bytes]
+
+    @property
+    def unique_count(self) -> int:
+        return len(self.unique_scids)
+
+    @property
+    def length_counts(self) -> Counter:
+        return Counter(len(s) for s in self.unique_scids)
+
+    @property
+    def dominant_length(self) -> int | None:
+        counts = self.length_counts
+        return counts.most_common(1)[0][0] if counts else None
+
+    def length_summary(self) -> str:
+        """Paper-style cell: dominant length, rare others in parentheses."""
+        counts = self.length_counts
+        if not counts:
+            return "-"
+        dominant, _n = counts.most_common(1)[0]
+        others = sorted(l for l in counts if l != dominant)
+        if not others:
+            return str(dominant)
+        return "%d (%s)" % (dominant, ", ".join(str(l) for l in others))
+
+
+def scids_by_origin(packets: list[CapturedPacket]) -> dict[str, set[bytes]]:
+    """Unique server connection IDs per origin, from backscatter."""
+    out: dict[str, set[bytes]] = defaultdict(set)
+    for packet in packets:
+        for parsed in packet.packets:
+            if parsed.packet_type in (
+                PacketType.INITIAL,
+                PacketType.HANDSHAKE,
+                PacketType.RETRY,
+            ):
+                if parsed.scid:
+                    out[packet.origin].add(parsed.scid)
+    return dict(out)
+
+
+def table4(packets: list[CapturedPacket]) -> dict[str, ScidStats]:
+    return {
+        origin: ScidStats(origin=origin, unique_scids=scids)
+        for origin, scids in scids_by_origin(packets).items()
+    }

@@ -1,0 +1,107 @@
+"""Session reconstruction from classified telescope packets.
+
+The paper counts "QUIC sessions (i.e., same SCID, DCID, source and
+destination IP address) once" (Table 2) and measures per-connection
+retransmission timing by grouping backscatter on the SCID (Figure 3).
+:class:`SessionStore` builds exactly that grouping.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # imported lazily to avoid a telescope<->core import cycle
+    from repro.telescope.classify import CapturedPacket
+
+
+@dataclass
+class Session:
+    """All telescope datagrams belonging to one QUIC connection."""
+
+    src_ip: int
+    dst_ip: int
+    scid: bytes
+    dcid: bytes
+    origin: str
+    version: int
+    #: Datagram arrival timestamps, in observation order.
+    timestamps: list[float] = field(default_factory=list)
+    #: Long-header packet-type labels per datagram (tuple per datagram).
+    datagram_types: list[tuple[str, ...]] = field(default_factory=list)
+    #: UDP payload length per datagram.
+    datagram_lengths: list[int] = field(default_factory=list)
+
+    @property
+    def first_seen(self) -> float:
+        return self.timestamps[0]
+
+    @property
+    def datagram_count(self) -> int:
+        return len(self.timestamps)
+
+    def relative_times(self) -> list[float]:
+        """Arrival times relative to the first datagram of the session."""
+        first = self.first_seen
+        return [t - first for t in self.timestamps]
+
+    def resend_count(self) -> int:
+        """Number of *resent* flights: flights observed after the first.
+
+        A flight is one Initial (+Handshake) response; non-coalescing
+        stacks emit two datagrams per flight, coalescing stacks one.  We
+        count flights by Initial packets (every flight leads with one).
+        """
+        initials = sum(
+            1 for types in self.datagram_types if "Initial" in types
+        )
+        return max(0, initials - 1)
+
+
+class SessionStore:
+    """Groups captured packets into sessions."""
+
+    def __init__(self) -> None:
+        self._sessions: dict[tuple, Session] = {}
+
+    @staticmethod
+    def key_of(packet: CapturedPacket) -> tuple:
+        first = packet.packets[0]
+        return (packet.src_ip, packet.dst_ip, first.scid, first.dcid)
+
+    def add(self, packet: CapturedPacket) -> Session:
+        key = self.key_of(packet)
+        session = self._sessions.get(key)
+        first = packet.packets[0]
+        if session is None:
+            session = Session(
+                src_ip=packet.src_ip,
+                dst_ip=packet.dst_ip,
+                scid=first.scid,
+                dcid=first.dcid,
+                origin=packet.origin,
+                version=first.version,
+            )
+            self._sessions[key] = session
+        session.timestamps.append(packet.timestamp)
+        session.datagram_types.append(
+            tuple(p.packet_type.label for p in packet.packets)
+        )
+        session.datagram_lengths.append(packet.udp_payload_length)
+        return session
+
+    @classmethod
+    def from_packets(cls, packets: list[CapturedPacket]) -> "SessionStore":
+        store = cls()
+        for packet in packets:
+            store.add(packet)
+        return store
+
+    def sessions(self) -> list[Session]:
+        return list(self._sessions.values())
+
+    def by_origin(self, origin: str) -> list[Session]:
+        return [s for s in self._sessions.values() if s.origin == origin]
+
+    def __len__(self) -> int:
+        return len(self._sessions)

@@ -1,0 +1,65 @@
+"""QUIC version adoption analysis (paper Table 2).
+
+Counts each session once (same SCID, DCID, source and destination) and
+buckets its version the way the paper's table does: QUICv1, Facebook
+mvfst 2, draft-29, and others.  Client behaviour comes from sanitized scan
+traffic, server behaviour from backscatter — which reveals the version the
+two sides *agreed on*, not merely offered.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+
+from repro.core.session import SessionStore
+from repro.quic.version import table2_bucket
+from repro.telescope.classify import ClassifiedCapture
+
+TABLE2_ROWS = ("QUICv1", "Facebook mvfst 2", "draft-29", "others")
+
+
+@dataclass
+class VersionShares:
+    """Session shares per Table 2 bucket, for one side of the traffic."""
+
+    counts: Counter
+    total: int
+
+    def share(self, bucket: str) -> float:
+        if not self.total:
+            return 0.0
+        return 100.0 * self.counts.get(bucket, 0) / self.total
+
+    def as_row(self) -> dict[str, float]:
+        return {bucket: self.share(bucket) for bucket in TABLE2_ROWS}
+
+
+def version_shares(packets) -> VersionShares:
+    """Bucket one packet population (scans or backscatter) by session."""
+    store = SessionStore.from_packets(packets)
+    counts: Counter = Counter()
+    for session in store.sessions():
+        counts[table2_bucket(session.version)] += 1
+    return VersionShares(counts=counts, total=len(store))
+
+
+def table2(capture: ClassifiedCapture) -> dict[str, VersionShares]:
+    """Client (scans) and server (backscatter) version shares."""
+    return {
+        "clients": version_shares(capture.scans),
+        "servers": version_shares(capture.backscatter),
+    }
+
+
+def table2_rows(
+    captures: dict[int, ClassifiedCapture],
+) -> list[tuple[str, dict[int, float], dict[int, float]]]:
+    """Rows of the full Table 2: (bucket, clients-by-year, servers-by-year)."""
+    shares = {year: table2(capture) for year, capture in captures.items()}
+    rows = []
+    for bucket in TABLE2_ROWS:
+        clients = {y: s["clients"].share(bucket) for y, s in shares.items()}
+        servers = {y: s["servers"].share(bucket) for y, s in shares.items()}
+        rows.append((bucket, clients, servers))
+    return rows

@@ -1,0 +1,79 @@
+"""IP-to-AS database with longest-prefix matching.
+
+Stands in for CAIDA's prefix-to-AS files.  The scenario builder registers
+hypergiant prefixes, ISP/eyeball prefixes, research-scanner prefixes, and
+the telescope itself; analyses then map backscatter source addresses to
+origin networks exactly like the paper does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.inetdata.hypergiants import HYPERGIANTS, Hypergiant
+from repro.inetdata.radix import RadixTree
+from repro.netstack.addr import Prefix, format_ip
+
+
+@dataclass(frozen=True)
+class AsEntry:
+    """One origin AS."""
+
+    asn: int
+    name: str
+    #: Category: hypergiant | isp | research | telescope | other
+    category: str = "other"
+
+
+class AsDatabase:
+    """Prefix → origin-AS mapping."""
+
+    def __init__(self) -> None:
+        self._trie: RadixTree[AsEntry] = RadixTree()
+        self._entries: dict[int, AsEntry] = {}
+
+    def register(self, prefix: Prefix | str, entry: AsEntry) -> None:
+        if isinstance(prefix, str):
+            prefix = Prefix.parse(prefix)
+        self._trie.insert(prefix, entry)
+        self._entries.setdefault(entry.asn, entry)
+
+    def register_hypergiant(self, hypergiant: Hypergiant) -> None:
+        entry = AsEntry(hypergiant.asn, hypergiant.name, category="hypergiant")
+        for prefix in hypergiant.prefixes:
+            self.register(prefix, entry)
+
+    def lookup(self, address: int) -> AsEntry | None:
+        """Longest-prefix origin AS for ``address``."""
+        return self._trie.lookup(address)
+
+    def origin_name(self, address: int) -> str:
+        """Paper-style origin label: hypergiant name or "Remaining"."""
+        entry = self.lookup(address)
+        if entry is not None and entry.name in HYPERGIANTS:
+            return entry.name
+        return "Remaining"
+
+    def asn_of(self, address: int) -> int | None:
+        entry = self.lookup(address)
+        return entry.asn if entry else None
+
+    def entries(self) -> list[AsEntry]:
+        return sorted(self._entries.values(), key=lambda e: e.asn)
+
+    def prefixes_of(self, asn: int) -> list[Prefix]:
+        return [p for p, e in self._trie.items() if e.asn == asn]
+
+    @classmethod
+    def with_hypergiants(cls) -> "AsDatabase":
+        """A database pre-seeded with the three studied hypergiants."""
+        db = cls()
+        for hg in HYPERGIANTS.values():
+            db.register_hypergiant(hg)
+        return db
+
+    def describe(self, address: int) -> str:
+        entry = self.lookup(address)
+        if entry is None:
+            return "%s (unrouted)" % format_ip(address)
+        return "%s (AS%d %s)" % (format_ip(address), entry.asn, entry.name)

@@ -1,0 +1,48 @@
+"""Per-IP certificate and PTR-record store.
+
+The paper verifies off-net candidates by (i) connecting and inspecting the
+TLS certificate's subjectAltNames and (ii) checking DNS PTR records
+(Appendix C).  The scenario builder registers what each simulated server
+would present; the verification step then performs the same decision.
+"""
+
+from __future__ import annotations
+
+from repro.inetdata.hypergiants import Hypergiant
+from repro.tls.certs import Certificate
+
+
+class CertificateStore:
+    """Maps server IP → presented certificate and PTR name."""
+
+    def __init__(self) -> None:
+        self._certs: dict[int, Certificate] = {}
+        self._ptr: dict[int, str] = {}
+
+    def register(self, address: int, certificate: Certificate, ptr: str = "") -> None:
+        self._certs[address] = certificate
+        if ptr:
+            self._ptr[address] = ptr
+
+    def certificate(self, address: int) -> Certificate | None:
+        return self._certs.get(address)
+
+    def ptr(self, address: int) -> str:
+        return self._ptr.get(address, "")
+
+    def __contains__(self, address: int) -> bool:
+        return address in self._certs
+
+    def __len__(self) -> int:
+        return len(self._certs)
+
+    def operated_by(self, address: int, hypergiant: Hypergiant) -> bool:
+        """Appendix-C ground truth: SAN suffix match, or PTR suffix match."""
+        cert = self._certs.get(address)
+        if cert is not None and cert.matches_any_suffix(hypergiant.cert_suffixes):
+            return True
+        ptr = self._ptr.get(address, "")
+        return any(
+            ptr == suffix or ptr.endswith("." + suffix)
+            for suffix in hypergiant.cert_suffixes
+        )

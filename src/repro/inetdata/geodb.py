@@ -1,0 +1,76 @@
+"""Prefix-based geolocation database (stands in for MaxMind GeoLite).
+
+Figure 6 of the paper aggregates Facebook frontend clusters by country and
+continent; the scenario builder registers every cluster prefix here with
+the country it is deployed in.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.inetdata.radix import RadixTree
+from repro.netstack.addr import Prefix
+
+#: ISO country code → continent, for the countries used in scenarios.
+COUNTRY_TO_CONTINENT = {
+    "US": "North America",
+    "CA": "North America",
+    "MX": "North America",
+    "BR": "South America",
+    "CL": "South America",
+    "DE": "Europe",
+    "GB": "Europe",
+    "FR": "Europe",
+    "NL": "Europe",
+    "SE": "Europe",
+    "ES": "Europe",
+    "IT": "Europe",
+    "PL": "Europe",
+    "IN": "Asia",
+    "SG": "Asia",
+    "JP": "Asia",
+    "HK": "Asia",
+    "KR": "Asia",
+    "TH": "Asia",
+    "ID": "Asia",
+    "MY": "Asia",
+    "PH": "Asia",
+    "VN": "Asia",
+    "AU": "Oceania",
+    "NZ": "Oceania",
+    "ZA": "Africa",
+    "KE": "Africa",
+    "NG": "Africa",
+}
+
+
+@dataclass(frozen=True)
+class GeoEntry:
+    country: str  # ISO 3166-1 alpha-2
+
+    @property
+    def continent(self) -> str:
+        return COUNTRY_TO_CONTINENT.get(self.country, "Unknown")
+
+
+class GeoDatabase:
+    """Prefix → country mapping with longest-prefix lookup."""
+
+    def __init__(self) -> None:
+        self._trie: RadixTree[GeoEntry] = RadixTree()
+
+    def register(self, prefix: Prefix | str, country: str) -> None:
+        if isinstance(prefix, str):
+            prefix = Prefix.parse(prefix)
+        if country not in COUNTRY_TO_CONTINENT:
+            raise ValueError("unknown country code %r" % country)
+        self._trie.insert(prefix, GeoEntry(country))
+
+    def country(self, address: int) -> str | None:
+        entry = self._trie.lookup(address)
+        return entry.country if entry else None
+
+    def continent(self, address: int) -> str | None:
+        entry = self._trie.lookup(address)
+        return entry.continent if entry else None

@@ -1,0 +1,87 @@
+"""Binary radix (Patricia-style) trie for longest-prefix matching.
+
+The same structure routers use for forwarding tables; here it backs the
+IP-to-AS database, the geolocation database, and the simulator's routing
+table.
+"""
+
+from __future__ import annotations
+
+from typing import Generic, Iterator, Optional, TypeVar
+
+from repro.netstack.addr import Prefix
+
+V = TypeVar("V")
+
+
+class _Node(Generic[V]):
+    __slots__ = ("children", "value", "has_value")
+
+    def __init__(self) -> None:
+        self.children: list[Optional["_Node[V]"]] = [None, None]
+        self.value: Optional[V] = None
+        self.has_value = False
+
+
+class RadixTree(Generic[V]):
+    """Maps CIDR prefixes to values; lookup returns the longest match."""
+
+    def __init__(self) -> None:
+        self._root: _Node[V] = _Node()
+        self._size = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    def insert(self, prefix: Prefix, value: V) -> None:
+        """Insert or replace the value at ``prefix``."""
+        node = self._root
+        for depth in range(prefix.length):
+            bit = (prefix.network >> (31 - depth)) & 1
+            child = node.children[bit]
+            if child is None:
+                child = _Node()
+                node.children[bit] = child
+            node = child
+        if not node.has_value:
+            self._size += 1
+        node.value = value
+        node.has_value = True
+
+    def lookup(self, address: int) -> Optional[V]:
+        """Longest-prefix match for ``address``; None if nothing matches."""
+        match = self.lookup_with_prefix(address)
+        return match[1] if match else None
+
+    def lookup_with_prefix(self, address: int) -> Optional[tuple[Prefix, V]]:
+        """Longest-prefix match returning the matched prefix as well."""
+        node = self._root
+        best: Optional[tuple[int, V]] = None
+        if node.has_value:
+            best = (0, node.value)  # type: ignore[assignment]
+        for depth in range(32):
+            bit = (address >> (31 - depth)) & 1
+            child = node.children[bit]
+            if child is None:
+                break
+            node = child
+            if node.has_value:
+                best = (depth + 1, node.value)  # type: ignore[assignment]
+        if best is None:
+            return None
+        length, value = best
+        mask = ((1 << length) - 1) << (32 - length) if length else 0
+        return Prefix(address & mask, length), value
+
+    def items(self) -> Iterator[tuple[Prefix, V]]:
+        """Yield all (prefix, value) pairs in preorder."""
+
+        def walk(node: _Node[V], network: int, depth: int):
+            if node.has_value:
+                yield Prefix(network, depth), node.value
+            for bit in (0, 1):
+                child = node.children[bit]
+                if child is not None:
+                    yield from walk(child, network | (bit << (31 - depth)), depth + 1)
+
+        yield from walk(self._root, 0, 0)

@@ -1,0 +1,100 @@
+"""IPv4 addresses as integers, plus CIDR prefix arithmetic.
+
+Addresses are plain ints in hot paths (the simulator routes millions of
+packets); these helpers convert to and from dotted-quad strings and model
+CIDR prefixes.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+IPV4_MAX = (1 << 32) - 1
+
+
+def parse_ip(text: str) -> int:
+    """Parse a dotted-quad IPv4 address into an integer."""
+    parts = text.split(".")
+    if len(parts) != 4:
+        raise ValueError("invalid IPv4 address %r" % text)
+    value = 0
+    for part in parts:
+        octet = int(part)
+        if not 0 <= octet <= 255:
+            raise ValueError("invalid IPv4 octet %r in %r" % (part, text))
+        value = (value << 8) | octet
+    return value
+
+
+def format_ip(value: int) -> str:
+    """Format an integer as a dotted-quad IPv4 address."""
+    if not 0 <= value <= IPV4_MAX:
+        raise ValueError("IPv4 address out of range: %d" % value)
+    return ".".join(str((value >> shift) & 0xFF) for shift in (24, 16, 8, 0))
+
+
+@dataclass(frozen=True)
+class Prefix:
+    """A CIDR prefix such as 157.240.0.0/24."""
+
+    network: int
+    length: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.length <= 32:
+            raise ValueError("prefix length must be 0..32")
+        mask = self.mask
+        if self.network & ~mask & IPV4_MAX:
+            raise ValueError(
+                "network %s has host bits set for /%d"
+                % (format_ip(self.network), self.length)
+            )
+
+    @classmethod
+    def parse(cls, text: str) -> "Prefix":
+        address, _, length = text.partition("/")
+        if not length:
+            raise ValueError("prefix %r missing /length" % text)
+        return cls(parse_ip(address), int(length))
+
+    @property
+    def mask(self) -> int:
+        return (IPV4_MAX << (32 - self.length)) & IPV4_MAX if self.length else 0
+
+    @property
+    def size(self) -> int:
+        return 1 << (32 - self.length)
+
+    @property
+    def first(self) -> int:
+        return self.network
+
+    @property
+    def last(self) -> int:
+        return self.network | (~self.mask & IPV4_MAX)
+
+    def __contains__(self, address: int) -> bool:
+        return (address & self.mask) == self.network
+
+    def __str__(self) -> str:
+        return "%s/%d" % (format_ip(self.network), self.length)
+
+    def host(self, index: int) -> int:
+        """Return the ``index``-th address in the prefix."""
+        if not 0 <= index < self.size:
+            raise ValueError("host index %d out of range for %s" % (index, self))
+        return self.network + index
+
+    def random_host(self, rng: random.Random) -> int:
+        return self.network + rng.randrange(self.size)
+
+    def subnets(self, new_length: int) -> list["Prefix"]:
+        """Split into equal subnets of ``new_length``."""
+        if new_length < self.length:
+            raise ValueError("cannot split /%d into /%d" % (self.length, new_length))
+        step = 1 << (32 - new_length)
+        return [
+            Prefix(self.network + i * step, new_length)
+            for i in range(1 << (new_length - self.length))
+        ]

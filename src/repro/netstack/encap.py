@@ -1,0 +1,32 @@
+"""IP-in-IP encapsulation (RFC 2003) as used by the L4LB → L7LB tunnel.
+
+Katran-style layer-4 load balancers forward the client's packet unchanged,
+wrapped in an outer IP header addressed to the chosen layer-7 load
+balancer.  The L7LB decapsulates and answers the client directly (direct
+server return).
+"""
+
+from __future__ import annotations
+
+from repro.netstack.ip import IPv4Header, PROTO_IPIP, decode_ipv4, encode_ipv4
+from repro.netstack.udp import UdpDatagram, decode_udp, encode_udp
+
+
+class EncapError(ValueError):
+    """Raised when a packet is not a valid IP-in-IP tunnel packet."""
+
+
+def encapsulate(inner: UdpDatagram, tunnel_src: int, tunnel_dst: int) -> bytes:
+    """Wrap ``inner`` (serialized as IPv4+UDP) in an outer IPv4 header."""
+    inner_bytes = encode_udp(inner)
+    outer = IPv4Header(src=tunnel_src, dst=tunnel_dst, protocol=PROTO_IPIP)
+    return encode_ipv4(outer, inner_bytes)
+
+
+def decapsulate(packet: bytes) -> tuple[int, int, UdpDatagram]:
+    """Unwrap an IP-in-IP packet; returns (tunnel_src, tunnel_dst, inner)."""
+    outer, payload = decode_ipv4(packet)
+    if outer.protocol != PROTO_IPIP:
+        raise EncapError("outer protocol %d is not IP-in-IP" % outer.protocol)
+    inner = decode_udp(payload)
+    return outer.src, outer.dst, inner

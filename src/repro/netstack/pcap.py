@@ -1,0 +1,119 @@
+"""Classic libpcap file format reader/writer (raw-IP link type).
+
+Telescope captures are stored as standard pcap so they can be inspected
+with external tooling, and so the analysis pipeline can equally consume
+real-world raw-IP captures.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import BinaryIO, Iterable, Iterator
+
+MAGIC = 0xA1B2C3D4
+MAGIC_SWAPPED = 0xD4C3B2A1
+VERSION_MAJOR = 2
+VERSION_MINOR = 4
+LINKTYPE_RAW = 101  # packets start with the IPv4/IPv6 header
+
+_GLOBAL_HEADER = struct.Struct("<IHHiIII")
+_RECORD_HEADER = struct.Struct("<IIII")
+
+
+class PcapError(ValueError):
+    """Raised on malformed pcap files."""
+
+
+@dataclass(frozen=True)
+class PcapRecord:
+    """One captured packet: timestamp (float seconds) and raw bytes."""
+
+    timestamp: float
+    data: bytes
+
+    @property
+    def ts_sec(self) -> int:
+        return int(self.timestamp)
+
+    @property
+    def ts_usec(self) -> int:
+        return int(round((self.timestamp - int(self.timestamp)) * 1_000_000))
+
+
+class PcapWriter:
+    """Writes classic pcap; use as a context manager."""
+
+    def __init__(self, fileobj: BinaryIO, linktype: int = LINKTYPE_RAW, snaplen: int = 65535) -> None:
+        self._file = fileobj
+        self._file.write(
+            _GLOBAL_HEADER.pack(
+                MAGIC, VERSION_MAJOR, VERSION_MINOR, 0, 0, snaplen, linktype
+            )
+        )
+        self._snaplen = snaplen
+
+    def write(self, record: PcapRecord) -> None:
+        data = record.data[: self._snaplen]
+        self._file.write(
+            _RECORD_HEADER.pack(
+                record.ts_sec, record.ts_usec, len(data), len(record.data)
+            )
+        )
+        self._file.write(data)
+
+    def write_all(self, records: Iterable[PcapRecord]) -> None:
+        for record in records:
+            self.write(record)
+
+    def __enter__(self) -> "PcapWriter":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self._file.flush()
+
+
+class PcapReader:
+    """Iterates :class:`PcapRecord` objects from a classic pcap file."""
+
+    def __init__(self, fileobj: BinaryIO) -> None:
+        self._file = fileobj
+        header = fileobj.read(_GLOBAL_HEADER.size)
+        if len(header) < _GLOBAL_HEADER.size:
+            raise PcapError("truncated pcap global header")
+        magic = struct.unpack("<I", header[:4])[0]
+        if magic == MAGIC:
+            self._endian = "<"
+        elif magic == MAGIC_SWAPPED:
+            self._endian = ">"
+        else:
+            raise PcapError("bad pcap magic 0x%08x" % magic)
+        fields = struct.unpack(self._endian + "IHHiIII", header)
+        self.linktype = fields[6]
+        self.snaplen = fields[5]
+        self._record_struct = struct.Struct(self._endian + "IIII")
+
+    def __iter__(self) -> Iterator[PcapRecord]:
+        while True:
+            header = self._file.read(self._record_struct.size)
+            if not header:
+                return
+            if len(header) < self._record_struct.size:
+                raise PcapError("truncated pcap record header")
+            ts_sec, ts_usec, incl_len, _orig_len = self._record_struct.unpack(header)
+            data = self._file.read(incl_len)
+            if len(data) < incl_len:
+                raise PcapError("truncated pcap record body")
+            yield PcapRecord(timestamp=ts_sec + ts_usec / 1_000_000, data=data)
+
+
+def write_pcap(path: str, records: Iterable[PcapRecord]) -> None:
+    """Convenience: write ``records`` to ``path``."""
+    with open(path, "wb") as fileobj:
+        PcapWriter(fileobj).write_all(records)
+
+
+def read_pcap(path: str) -> list[PcapRecord]:
+    """Convenience: read all records from ``path``."""
+    with open(path, "rb") as fileobj:
+        return list(PcapReader(fileobj))

@@ -1,0 +1,109 @@
+"""UDP datagrams (RFC 768), including the pseudo-header checksum.
+
+:class:`UdpDatagram` is also the structured packet unit the simulator
+routes, so it carries the IP addresses alongside the UDP fields.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.buffer import Reader, Writer
+from repro.netstack.checksum import internet_checksum
+from repro.netstack.ip import IPv4Header, PROTO_UDP, decode_ipv4, encode_ipv4
+
+HEADER_LENGTH = 8
+
+#: The UDP port QUIC servers listen on; the telescope classifies by it.
+QUIC_PORT = 443
+
+
+class UdpParseError(ValueError):
+    """Raised when bytes cannot be parsed as a UDP datagram."""
+
+
+@dataclass(frozen=True)
+class UdpDatagram:
+    """One UDP datagram with its IP endpoints — the simulator's packet unit."""
+
+    src_ip: int
+    dst_ip: int
+    src_port: int
+    dst_port: int
+    payload: bytes
+    ttl: int = 64
+
+    @property
+    def flow(self) -> tuple[int, int, int, int, int]:
+        """The classic 5-tuple (protocol is always UDP here)."""
+        return (self.src_ip, self.src_port, self.dst_ip, self.dst_port, PROTO_UDP)
+
+    def reply(self, payload: bytes, ttl: int = 64) -> "UdpDatagram":
+        """Build the response datagram (endpoints swapped)."""
+        return UdpDatagram(
+            src_ip=self.dst_ip,
+            dst_ip=self.src_ip,
+            src_port=self.dst_port,
+            dst_port=self.src_port,
+            payload=payload,
+            ttl=ttl,
+        )
+
+    def with_payload(self, payload: bytes) -> "UdpDatagram":
+        return replace(self, payload=payload)
+
+
+def encode_udp(datagram: UdpDatagram) -> bytes:
+    """Serialize the full IPv4+UDP packet with both checksums."""
+    udp_length = HEADER_LENGTH + len(datagram.payload)
+    if udp_length > 0xFFFF:
+        raise UdpParseError("UDP datagram too large: %d" % udp_length)
+    writer = Writer()
+    writer.write_u16(datagram.src_port)
+    writer.write_u16(datagram.dst_port)
+    writer.write_u16(udp_length)
+    writer.write_u16(0)  # checksum placeholder
+    writer.write(datagram.payload)
+    udp_bytes = bytearray(writer.getvalue())
+    pseudo = Writer()
+    pseudo.write_u32(datagram.src_ip)
+    pseudo.write_u32(datagram.dst_ip)
+    pseudo.write_u8(0)
+    pseudo.write_u8(PROTO_UDP)
+    pseudo.write_u16(udp_length)
+    checksum = internet_checksum(pseudo.getvalue() + bytes(udp_bytes))
+    if checksum == 0:
+        checksum = 0xFFFF  # RFC 768: zero means "no checksum"
+    udp_bytes[6:8] = checksum.to_bytes(2, "big")
+    ip_header = IPv4Header(
+        src=datagram.src_ip,
+        dst=datagram.dst_ip,
+        protocol=PROTO_UDP,
+        ttl=datagram.ttl,
+    )
+    return encode_ipv4(ip_header, bytes(udp_bytes))
+
+
+def decode_udp(packet: bytes) -> UdpDatagram:
+    """Parse a full IPv4+UDP packet back into a :class:`UdpDatagram`."""
+    ip_header, ip_payload = decode_ipv4(packet)
+    if ip_header.protocol != PROTO_UDP:
+        raise UdpParseError("IP protocol %d is not UDP" % ip_header.protocol)
+    if len(ip_payload) < HEADER_LENGTH:
+        raise UdpParseError("payload shorter than UDP header")
+    reader = Reader(ip_payload)
+    src_port = reader.read_u16()
+    dst_port = reader.read_u16()
+    udp_length = reader.read_u16()
+    if udp_length < HEADER_LENGTH or udp_length > len(ip_payload):
+        raise UdpParseError("bad UDP length %d" % udp_length)
+    reader.read_u16()  # checksum
+    payload = ip_payload[HEADER_LENGTH:udp_length]
+    return UdpDatagram(
+        src_ip=ip_header.src,
+        dst_ip=ip_header.dst,
+        src_port=src_port,
+        dst_port=dst_port,
+        payload=payload,
+        ttl=ip_header.ttl,
+    )

@@ -1,0 +1,29 @@
+"""Connection-ID generation schemes used by hypergiant QUIC stacks.
+
+The paper fingerprints deployments by the structure of server-chosen
+connection IDs (SCIDs):
+
+* Facebook's mvfst encodes host/worker/process IDs (:mod:`.mvfst`).
+* Cloudflare uses 20-byte IDs with a fixed 0x01 first byte (:mod:`.cloudflare`).
+* Google echoes the first 8 bytes of the client's DCID (:mod:`.google`).
+* The IETF QUIC-LB draft defines routable CIDs (:mod:`.quic_lb`).
+"""
+
+from repro.quic.cid.base import CidContext, CidScheme, RandomScheme
+from repro.quic.cid.mvfst import MvfstCid, MvfstScheme
+from repro.quic.cid.cloudflare import CloudflareScheme, looks_like_cloudflare
+from repro.quic.cid.google import GoogleEchoScheme
+from repro.quic.cid.quic_lb import QuicLbConfig, QuicLbScheme
+
+__all__ = [
+    "CidContext",
+    "CidScheme",
+    "RandomScheme",
+    "MvfstCid",
+    "MvfstScheme",
+    "CloudflareScheme",
+    "looks_like_cloudflare",
+    "GoogleEchoScheme",
+    "QuicLbConfig",
+    "QuicLbScheme",
+]

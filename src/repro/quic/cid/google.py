@@ -1,0 +1,37 @@
+"""Google's echo connection-ID behaviour.
+
+The paper finds (§4.2) that Google SCIDs are statistically random and that
+probing with attacker-chosen DCIDs shows Google servers *echo the first
+8 bytes of the client-chosen DCID* as their SCID.  Backscatter from Google
+therefore exposes what clients sent, not server-side structure.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.quic.cid.base import CidContext, CidScheme
+
+CID_LENGTH = 8
+
+
+@dataclass
+class GoogleEchoScheme(CidScheme):
+    """SCID = first 8 bytes of the client DCID (zero-padded if shorter)."""
+
+    length: int = CID_LENGTH
+
+    def generate(self, rng: random.Random, context: CidContext) -> bytes:
+        echoed = context.client_dcid[:CID_LENGTH]
+        if len(echoed) < CID_LENGTH:
+            echoed = echoed + bytes(CID_LENGTH - len(echoed))
+        return echoed
+
+
+def echoes_client_dcid(scid: bytes, client_dcid: bytes) -> bool:
+    """Check the active-probing signature: SCID repeats the client's DCID."""
+    expected = client_dcid[:CID_LENGTH]
+    if len(expected) < CID_LENGTH:
+        expected = expected + bytes(CID_LENGTH - len(expected))
+    return scid == expected

@@ -1,0 +1,150 @@
+"""Facebook mvfst structured connection IDs (paper Table 5).
+
+mvfst's ``DefaultConnectionIdAlgo`` packs a CID version, host ID, worker ID,
+and process ID into an 8-byte connection ID; the remaining bits are random.
+Bit positions below use network bit order: bit 0 is the most significant bit
+of the first byte.
+
+=============  =========  =========  ==========  ===========  ================
+SCID version   Version    Host ID    Worker ID   Process ID   Random bits
+=============  =========  =========  ==========  ===========  ================
+1              0-1        2-17       18-25       26           27-63
+2              0-1        8-31       32-39       40           2-7, 41-63
+=============  =========  =========  ==========  ===========  ================
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.quic.cid.base import CidContext, CidScheme
+
+CID_LENGTH = 8
+HOST_ID_BITS_V1 = 16
+HOST_ID_BITS_V2 = 24
+WORKER_ID_BITS = 8
+
+#: Paper §4.2: mvfst SCID version 1 allows at most 2^16 host IDs.
+MAX_HOST_ID_V1 = (1 << HOST_ID_BITS_V1) - 1
+MAX_HOST_ID_V2 = (1 << HOST_ID_BITS_V2) - 1
+MAX_WORKER_ID = (1 << WORKER_ID_BITS) - 1
+
+
+class MvfstCidError(ValueError):
+    """Raised when a CID cannot be parsed as an mvfst structured ID."""
+
+
+@dataclass(frozen=True)
+class MvfstCid:
+    """Decoded fields of an mvfst connection ID."""
+
+    version: int
+    host_id: int
+    worker_id: int
+    process_id: int
+    random_bits: int
+
+    def encode(self, cid_bytes: int = CID_LENGTH) -> bytes:
+        """Re-encode the fields into an 8-byte connection ID."""
+        if self.version == 1:
+            return _encode_v1(self)
+        if self.version == 2:
+            return _encode_v2(self)
+        raise MvfstCidError("unsupported mvfst CID version %d" % self.version)
+
+
+def _check_range(name: str, value: int, maximum: int) -> None:
+    if not 0 <= value <= maximum:
+        raise MvfstCidError("%s %d out of range [0, %d]" % (name, value, maximum))
+
+
+def _encode_v1(cid: MvfstCid) -> bytes:
+    _check_range("host_id", cid.host_id, MAX_HOST_ID_V1)
+    _check_range("worker_id", cid.worker_id, MAX_WORKER_ID)
+    _check_range("process_id", cid.process_id, 1)
+    _check_range("random_bits", cid.random_bits, (1 << 37) - 1)
+    value = (
+        (1 << 62)  # version=1 in bits 0-1
+        | (cid.host_id << 46)  # bits 2-17
+        | (cid.worker_id << 38)  # bits 18-25
+        | (cid.process_id << 37)  # bit 26
+        | cid.random_bits  # bits 27-63
+    )
+    return value.to_bytes(CID_LENGTH, "big")
+
+
+def _encode_v2(cid: MvfstCid) -> bytes:
+    _check_range("host_id", cid.host_id, MAX_HOST_ID_V2)
+    _check_range("worker_id", cid.worker_id, MAX_WORKER_ID)
+    _check_range("process_id", cid.process_id, 1)
+    _check_range("random_bits", cid.random_bits, (1 << 29) - 1)
+    rand_high = cid.random_bits >> 23  # 6 bits -> bits 2-7
+    rand_low = cid.random_bits & ((1 << 23) - 1)  # 23 bits -> bits 41-63
+    value = (
+        (2 << 62)  # version=2 in bits 0-1
+        | (rand_high << 56)  # bits 2-7
+        | (cid.host_id << 32)  # bits 8-31
+        | (cid.worker_id << 24)  # bits 32-39
+        | (cid.process_id << 23)  # bit 40
+        | rand_low  # bits 41-63
+    )
+    return value.to_bytes(CID_LENGTH, "big")
+
+
+def decode(cid: bytes) -> MvfstCid:
+    """Decode an 8-byte connection ID as an mvfst structured ID.
+
+    Raises :class:`MvfstCidError` for lengths other than 8 or for CID
+    versions mvfst does not define (0 and 3).
+    """
+    if len(cid) != CID_LENGTH:
+        raise MvfstCidError("mvfst CIDs are 8 bytes, got %d" % len(cid))
+    value = int.from_bytes(cid, "big")
+    version = value >> 62
+    if version == 1:
+        return MvfstCid(
+            version=1,
+            host_id=(value >> 46) & MAX_HOST_ID_V1,
+            worker_id=(value >> 38) & MAX_WORKER_ID,
+            process_id=(value >> 37) & 1,
+            random_bits=value & ((1 << 37) - 1),
+        )
+    if version == 2:
+        rand_high = (value >> 56) & 0x3F
+        rand_low = value & ((1 << 23) - 1)
+        return MvfstCid(
+            version=2,
+            host_id=(value >> 32) & MAX_HOST_ID_V2,
+            worker_id=(value >> 24) & MAX_WORKER_ID,
+            process_id=(value >> 23) & 1,
+            random_bits=(rand_high << 23) | rand_low,
+        )
+    raise MvfstCidError("not an mvfst structured CID (version bits %d)" % version)
+
+
+def try_decode(cid: bytes) -> MvfstCid | None:
+    """Like :func:`decode` but returns None instead of raising."""
+    try:
+        return decode(cid)
+    except MvfstCidError:
+        return None
+
+
+@dataclass
+class MvfstScheme(CidScheme):
+    """Generator producing mvfst structured SCIDs for a given server."""
+
+    length: int = CID_LENGTH
+    cid_version: int = 1
+
+    def generate(self, rng: random.Random, context: CidContext) -> bytes:
+        random_width = 37 if self.cid_version == 1 else 29
+        cid = MvfstCid(
+            version=self.cid_version,
+            host_id=context.host_id,
+            worker_id=context.worker_id,
+            process_id=context.process_id,
+            random_bits=rng.getrandbits(random_width),
+        )
+        return cid.encode()

@@ -1,0 +1,92 @@
+"""QUIC-LB routable connection IDs (draft-ietf-quic-load-balancers-13).
+
+The draft the paper references as the IETF's answer to CID-aware load
+balancing.  We implement the *plaintext* algorithm: the first octet carries
+a 3-bit config rotation and a 5-bit "length self-description" field, then a
+server ID of configurable length, then a random nonce.  The paper uses the
+first-octet semantics to argue Cloudflare does *not* deploy this draft
+(their first byte 0x01 would imply a CID length of 1 or random bits).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.quic.cid.base import CidContext, CidScheme
+
+
+class QuicLbError(ValueError):
+    """Raised when a CID does not parse under a QUIC-LB configuration."""
+
+
+@dataclass(frozen=True)
+class QuicLbConfig:
+    """One load-balancer configuration (shared by L4LB and servers)."""
+
+    config_rotation: int = 0  # 0..6; 7 is reserved for "unroutable"
+    server_id_length: int = 2  # bytes
+    nonce_length: int = 5  # bytes
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.config_rotation <= 6:
+            raise QuicLbError("config rotation must be 0..6")
+        if not 1 <= self.server_id_length <= 15:
+            raise QuicLbError("server ID length must be 1..15 bytes")
+        if self.nonce_length < 4:
+            raise QuicLbError("nonce must be at least 4 bytes")
+
+    @property
+    def cid_length(self) -> int:
+        return 1 + self.server_id_length + self.nonce_length
+
+
+def encode(config: QuicLbConfig, server_id: int, nonce: int) -> bytes:
+    """Build a routable CID: first octet, server ID, nonce."""
+    if server_id >> (8 * config.server_id_length):
+        raise QuicLbError("server ID does not fit configured length")
+    if nonce >> (8 * config.nonce_length):
+        raise QuicLbError("nonce does not fit configured length")
+    # First octet: CR (3 bits) then the encoded remaining length (5 bits),
+    # per the draft's length self-description.
+    remaining = config.server_id_length + config.nonce_length
+    first = (config.config_rotation << 5) | (remaining & 0x1F)
+    return (
+        bytes([first])
+        + server_id.to_bytes(config.server_id_length, "big")
+        + nonce.to_bytes(config.nonce_length, "big")
+    )
+
+
+def decode(config: QuicLbConfig, cid: bytes) -> tuple[int, int]:
+    """Extract ``(server_id, nonce)`` from a routable CID."""
+    if len(cid) != config.cid_length:
+        raise QuicLbError(
+            "CID length %d does not match config (%d)" % (len(cid), config.cid_length)
+        )
+    rotation = cid[0] >> 5
+    if rotation != config.config_rotation:
+        raise QuicLbError(
+            "config rotation %d does not match config (%d)"
+            % (rotation, config.config_rotation)
+        )
+    declared = cid[0] & 0x1F
+    if declared != config.server_id_length + config.nonce_length:
+        raise QuicLbError("length self-description mismatch")
+    server_id = int.from_bytes(cid[1 : 1 + config.server_id_length], "big")
+    nonce = int.from_bytes(cid[1 + config.server_id_length :], "big")
+    return server_id, nonce
+
+
+@dataclass
+class QuicLbScheme(CidScheme):
+    """Generator producing QUIC-LB plaintext routable CIDs."""
+
+    config: QuicLbConfig = QuicLbConfig()
+
+    def __post_init__(self) -> None:
+        self.length = self.config.cid_length
+
+    def generate(self, rng: random.Random, context: CidContext) -> bytes:
+        nonce = rng.getrandbits(8 * self.config.nonce_length)
+        return encode(self.config, context.host_id, nonce)

@@ -1,0 +1,147 @@
+"""AES-128 block cipher, encrypt-only, implemented from first principles.
+
+Only encryption is needed: GCM runs the cipher in counter mode for both
+directions, and QUIC header protection applies the forward cipher to a
+ciphertext sample.  The S-box and round constants are generated
+programmatically from the GF(2^8) field definition rather than pasted as
+magic tables, which keeps the construction auditable.
+"""
+
+from __future__ import annotations
+
+
+def _build_sbox() -> list[int]:
+    """Construct the AES S-box from multiplicative inverses in GF(2^8)."""
+    # Exponentiation/log tables over GF(2^8) with generator 3.
+    exp = [0] * 512
+    log = [0] * 256
+    x = 1
+    for i in range(255):
+        exp[i] = x
+        log[x] = i
+        # multiply x by 3 (generator): x * 2 xor x, with reduction 0x11b
+        x ^= (x << 1) ^ (0x11B if x & 0x80 else 0)
+        x &= 0xFF
+    for i in range(255, 512):
+        exp[i] = exp[i - 255]
+
+    def inverse(b: int) -> int:
+        return 0 if b == 0 else exp[255 - log[b]]
+
+    sbox = []
+    for b in range(256):
+        inv = inverse(b)
+        # Affine transformation over GF(2).
+        s = inv
+        for shift in (1, 2, 3, 4):
+            s ^= ((inv << shift) | (inv >> (8 - shift))) & 0xFF
+        sbox.append(s ^ 0x63)
+    return sbox
+
+
+SBOX = _build_sbox()
+assert SBOX[0x00] == 0x63 and SBOX[0x53] == 0xED, "S-box self-check failed"
+
+
+def _xtime(b: int) -> int:
+    """Multiply by x (i.e. 2) in GF(2^8) with the AES reduction polynomial."""
+    b <<= 1
+    if b & 0x100:
+        b ^= 0x11B
+    return b & 0xFF
+
+
+_XTIME = [_xtime(b) for b in range(256)]
+# mul3[b] = 3*b in GF(2^8); used by MixColumns.
+_MUL3 = [_XTIME[b] ^ b for b in range(256)]
+
+_RCON = []
+_r = 1
+for _ in range(10):
+    _RCON.append(_r)
+    _r = _xtime(_r)
+
+
+class AES128:
+    """AES with a 128-bit key; exposes single-block encryption."""
+
+    ROUNDS = 10
+
+    def __init__(self, key: bytes) -> None:
+        if len(key) != 16:
+            raise ValueError("AES-128 key must be 16 bytes, got %d" % len(key))
+        self._round_keys = self._expand_key(key)
+
+    @staticmethod
+    def _expand_key(key: bytes) -> list[list[int]]:
+        """Produce 11 round keys of 16 bytes each (as flat byte lists)."""
+        words = [list(key[i : i + 4]) for i in range(0, 16, 4)]
+        for i in range(4, 4 * (AES128.ROUNDS + 1)):
+            temp = list(words[i - 1])
+            if i % 4 == 0:
+                temp = temp[1:] + temp[:1]  # RotWord
+                temp = [SBOX[b] for b in temp]  # SubWord
+                temp[0] ^= _RCON[i // 4 - 1]
+            words.append([a ^ b for a, b in zip(words[i - 4], temp)])
+        round_keys = []
+        for r in range(AES128.ROUNDS + 1):
+            flat: list[int] = []
+            for w in words[4 * r : 4 * r + 4]:
+                flat.extend(w)
+            round_keys.append(flat)
+        return round_keys
+
+    def encrypt_block(self, block: bytes) -> bytes:
+        """Encrypt exactly one 16-byte block."""
+        if len(block) != 16:
+            raise ValueError("AES block must be 16 bytes, got %d" % len(block))
+        sbox = SBOX
+        xt = _XTIME
+        mul3 = _MUL3
+        rk = self._round_keys
+        state = [b ^ k for b, k in zip(block, rk[0])]
+        for rnd in range(1, self.ROUNDS):
+            # SubBytes + ShiftRows fused: state is column-major (AES order:
+            # byte i lives at row i%4, column i//4; ShiftRows rotates rows).
+            s = [sbox[b] for b in state]
+            shifted = [
+                s[0], s[5], s[10], s[15],
+                s[4], s[9], s[14], s[3],
+                s[8], s[13], s[2], s[7],
+                s[12], s[1], s[6], s[11],
+            ]
+            key = rk[rnd]
+            new = [0] * 16
+            for c in range(4):
+                a0, a1, a2, a3 = shifted[4 * c : 4 * c + 4]
+                new[4 * c] = xt[a0] ^ mul3[a1] ^ a2 ^ a3 ^ key[4 * c]
+                new[4 * c + 1] = a0 ^ xt[a1] ^ mul3[a2] ^ a3 ^ key[4 * c + 1]
+                new[4 * c + 2] = a0 ^ a1 ^ xt[a2] ^ mul3[a3] ^ key[4 * c + 2]
+                new[4 * c + 3] = mul3[a0] ^ a1 ^ a2 ^ xt[a3] ^ key[4 * c + 3]
+            state = new
+        # Final round: no MixColumns.
+        s = [sbox[b] for b in state]
+        shifted = [
+            s[0], s[5], s[10], s[15],
+            s[4], s[9], s[14], s[3],
+            s[8], s[13], s[2], s[7],
+            s[12], s[1], s[6], s[11],
+        ]
+        key = rk[self.ROUNDS]
+        return bytes(b ^ k for b, k in zip(shifted, key))
+
+    def ctr_keystream(self, nonce: bytes, length: int, initial_counter: int = 1) -> bytes:
+        """Generate ``length`` bytes of CTR-mode keystream.
+
+        GCM uses a 12-byte nonce with a 32-bit big-endian block counter
+        appended, starting at 2 for the payload (counter 1 encrypts the tag).
+        """
+        if len(nonce) != 12:
+            raise ValueError("CTR nonce must be 12 bytes")
+        out = bytearray()
+        counter = initial_counter
+        while len(out) < length:
+            block = nonce + counter.to_bytes(4, "big")
+            out.extend(self.encrypt_block(block))
+            counter += 1
+        return bytes(out[:length])

@@ -1,0 +1,48 @@
+"""HKDF-SHA256 (RFC 5869) and the TLS 1.3 HKDF-Expand-Label (RFC 8446 §7.1).
+
+QUIC derives its Initial keys from the client's Destination Connection ID
+through HKDF-Extract with a version-specific salt followed by
+HKDF-Expand-Label with the labels "client in" / "server in" / "quic key" /
+"quic iv" / "quic hp" (RFC 9001 §5).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+
+_HASH_LEN = 32  # SHA-256
+
+
+def hkdf_extract(salt: bytes, ikm: bytes) -> bytes:
+    """HKDF-Extract(salt, IKM) with SHA-256."""
+    return hmac.new(salt or b"\x00" * _HASH_LEN, ikm, hashlib.sha256).digest()
+
+
+def hkdf_expand(prk: bytes, info: bytes, length: int) -> bytes:
+    """HKDF-Expand(PRK, info, L) with SHA-256."""
+    if length > 255 * _HASH_LEN:
+        raise ValueError("HKDF-Expand length too large: %d" % length)
+    output = b""
+    block = b""
+    counter = 1
+    while len(output) < length:
+        block = hmac.new(
+            prk, block + info + bytes([counter]), hashlib.sha256
+        ).digest()
+        output += block
+        counter += 1
+    return output[:length]
+
+
+def hkdf_expand_label(secret: bytes, label: str, context: bytes, length: int) -> bytes:
+    """TLS 1.3 HKDF-Expand-Label: prefixes the label with "tls13 "."""
+    full_label = b"tls13 " + label.encode("ascii")
+    info = (
+        length.to_bytes(2, "big")
+        + bytes([len(full_label)])
+        + full_label
+        + bytes([len(context)])
+        + context
+    )
+    return hkdf_expand(secret, info, length)

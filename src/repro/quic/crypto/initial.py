@@ -1,0 +1,92 @@
+"""RFC 9001 §5.2 Initial secret derivation.
+
+Initial packets are protected with keys derived solely from the client's
+first Destination Connection ID and a version-specific salt.  Any observer
+of the first flight — which includes a network telescope — can therefore
+decrypt Initial packets; this is exactly what Wireshark's dissector does and
+what our sanitization pipeline relies on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.quic import version as quic_version
+from repro.quic.crypto.hkdf import hkdf_expand_label, hkdf_extract
+
+#: Version-specific Initial salts (RFC 9001 §5.2 and predecessors).
+INITIAL_SALTS: dict[int, bytes] = {
+    quic_version.QUIC_V1.value: bytes.fromhex(
+        "38762cf7f55934b34d179ae6a4c80cadccbb7f0a"
+    ),
+    quic_version.QUIC_V2.value: bytes.fromhex(
+        "0dede3def700a6db819381be6e269dcbf9bd2ed9"
+    ),
+    quic_version.DRAFT_29.value: bytes.fromhex(
+        "afbfec289993d24c9e9786f19c6111e04390a899"
+    ),
+    quic_version.DRAFT_28.value: bytes.fromhex(
+        "c3eef712c72ebb5a11a7d2432bb46365bef9f502"
+    ),
+    quic_version.DRAFT_27.value: bytes.fromhex(
+        "c3eef712c72ebb5a11a7d2432bb46365bef9f502"
+    ),
+}
+
+
+def initial_salt(version: int) -> bytes:
+    """Return the Initial salt for ``version``.
+
+    Unknown versions (including mvfst, which reuses the draft derivation)
+    fall back to the draft-29 salt; this mirrors how dissectors try a small
+    set of salts when classifying traffic.
+    """
+    if version in INITIAL_SALTS:
+        return INITIAL_SALTS[version]
+    if (version >> 8) == 0xFACEB0:
+        return INITIAL_SALTS[quic_version.DRAFT_29.value]
+    return INITIAL_SALTS[quic_version.QUIC_V1.value]
+
+
+@dataclass(frozen=True)
+class DirectionKeys:
+    """AEAD key material for one direction of an Initial exchange."""
+
+    key: bytes  # 16 bytes (AES-128)
+    iv: bytes  # 12 bytes
+    hp: bytes  # 16 bytes, header protection key
+
+    def nonce(self, packet_number: int) -> bytes:
+        """Per-packet nonce: IV XORed with the packet number (RFC 9001 §5.3)."""
+        pn_bytes = packet_number.to_bytes(12, "big")
+        return bytes(i ^ p for i, p in zip(self.iv, pn_bytes))
+
+
+@dataclass(frozen=True)
+class InitialKeys:
+    """Both directions of Initial key material for one connection."""
+
+    client: DirectionKeys
+    server: DirectionKeys
+
+    def for_sender(self, is_server: bool) -> DirectionKeys:
+        return self.server if is_server else self.client
+
+
+def _derive_direction(secret: bytes) -> DirectionKeys:
+    return DirectionKeys(
+        key=hkdf_expand_label(secret, "quic key", b"", 16),
+        iv=hkdf_expand_label(secret, "quic iv", b"", 12),
+        hp=hkdf_expand_label(secret, "quic hp", b"", 16),
+    )
+
+
+def derive_initial_keys(version: int, client_dcid: bytes) -> InitialKeys:
+    """Derive client and server Initial keys per RFC 9001 §5.2."""
+    initial_secret = hkdf_extract(initial_salt(version), client_dcid)
+    client_secret = hkdf_expand_label(initial_secret, "client in", b"", 32)
+    server_secret = hkdf_expand_label(initial_secret, "server in", b"", 32)
+    return InitialKeys(
+        client=_derive_direction(client_secret),
+        server=_derive_direction(server_secret),
+    )

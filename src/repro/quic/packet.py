@@ -1,0 +1,475 @@
+"""QUIC packet headers (RFC 8999/9000 §17) and datagram coalescence.
+
+Two representations are used throughout the library:
+
+* :class:`LongHeaderPacket` / :class:`ShortHeaderPacket` — *logical* packets
+  with plaintext frame payloads, produced by endpoints and consumed by
+  :func:`encode_datagram`.
+* :class:`ParsedLongHeader` — the *observable* header fields of a protected
+  packet on the wire, produced by :func:`parse_long_header` without any key
+  material.  This is the telescope's view: type bits, version, DCID, SCID,
+  token and length are all in the clear for long-header packets.
+"""
+
+from __future__ import annotations
+
+import enum
+import hashlib
+from dataclasses import dataclass, field
+
+from repro.buffer import BufferError_, Reader, Writer
+from repro.quic.crypto.suites import PacketProtection, ProtectionError, TAG_LENGTH
+from repro.quic.varint import encode_varint, read_varint, varint_length
+from repro.quic.version import VERSION_NEGOTIATION
+
+#: RFC 9000 §14.1: a client Initial must be carried in a datagram of at
+#: least 1200 bytes.
+MIN_INITIAL_DATAGRAM = 1200
+
+FORM_BIT = 0x80
+FIXED_BIT = 0x40
+
+
+class PacketType(enum.Enum):
+    """Long-header packet types plus the two special on-wire forms."""
+
+    INITIAL = 0
+    ZERO_RTT = 1
+    HANDSHAKE = 2
+    RETRY = 3
+    VERSION_NEGOTIATION = 4
+    ONE_RTT = 5
+
+    @property
+    def label(self) -> str:
+        return {
+            PacketType.INITIAL: "Initial",
+            PacketType.ZERO_RTT: "0-RTT",
+            PacketType.HANDSHAKE: "Handshake",
+            PacketType.RETRY: "Retry",
+            PacketType.VERSION_NEGOTIATION: "VersionNegotiation",
+            PacketType.ONE_RTT: "1-RTT",
+        }[self]
+
+
+class PacketParseError(ValueError):
+    """Raised when bytes cannot be parsed as a QUIC packet."""
+
+
+@dataclass
+class LongHeaderPacket:
+    """A logical long-header packet with a plaintext payload."""
+
+    packet_type: PacketType
+    version: int
+    dcid: bytes
+    scid: bytes
+    packet_number: int = 0
+    payload: bytes = b""
+    token: bytes = b""  # Initial only
+    pn_length: int = 1
+
+    def __post_init__(self) -> None:
+        if self.packet_type not in (
+            PacketType.INITIAL,
+            PacketType.ZERO_RTT,
+            PacketType.HANDSHAKE,
+        ):
+            raise PacketParseError(
+                "LongHeaderPacket only represents Initial/0-RTT/Handshake"
+            )
+        if not 1 <= self.pn_length <= 4:
+            raise PacketParseError("packet number length must be 1..4")
+
+
+@dataclass
+class ShortHeaderPacket:
+    """A logical 1-RTT packet.
+
+    Short headers carry no CID length on the wire: the receiver must know
+    the length of the CIDs it issued (RFC 8999 §5.2) — which is exactly why
+    load balancers need a fixed, configured CID length to route 1-RTT
+    traffic (paper §2.2).
+    """
+
+    dcid: bytes
+    packet_number: int = 0
+    payload: bytes = b""
+    pn_length: int = 1
+    spin_bit: bool = False
+
+
+@dataclass
+class RetryPacket:
+    """A Retry packet; carries a token and a 16-byte integrity tag."""
+
+    version: int
+    dcid: bytes
+    scid: bytes
+    retry_token: bytes
+
+
+@dataclass
+class VersionNegotiationPacket:
+    """Server's answer to an unsupported version (RFC 8999 §6)."""
+
+    dcid: bytes
+    scid: bytes
+    supported_versions: tuple[int, ...]
+
+
+@dataclass
+class ParsedLongHeader:
+    """Cleartext header fields of one protected packet inside a datagram."""
+
+    packet_type: PacketType
+    version: int
+    dcid: bytes
+    scid: bytes
+    token: bytes
+    #: Offset of the packet-number field relative to the packet start.
+    pn_offset: int
+    #: Total length of this packet inside the datagram.
+    packet_length: int
+    #: Value of the Length field (packet number + protected payload).
+    payload_length: int
+    #: For Retry: token; for VN: supported versions.
+    supported_versions: tuple[int, ...] = ()
+    retry_token: bytes = b""
+
+
+# ---------------------------------------------------------------------------
+# Encoding
+# ---------------------------------------------------------------------------
+
+
+def encode_packet(
+    packet: LongHeaderPacket,
+    protection: PacketProtection,
+    is_server: bool,
+) -> bytes:
+    """Serialize and protect one long-header packet."""
+    writer = Writer()
+    first = (
+        FORM_BIT
+        | FIXED_BIT
+        | (packet.packet_type.value << 4)
+        | (packet.pn_length - 1)
+    )
+    writer.write_u8(first)
+    writer.write_u32(packet.version)
+    _write_cid(writer, packet.dcid)
+    _write_cid(writer, packet.scid)
+    if packet.packet_type is PacketType.INITIAL:
+        writer.write(encode_varint(len(packet.token)))
+        writer.write(packet.token)
+    length = packet.pn_length + len(packet.payload) + TAG_LENGTH
+    # Always use a 2-byte varint for Length so headers have a stable size,
+    # matching common stack behaviour (and simplifying padding math).
+    writer.write(encode_varint(length, width=max(2, varint_length(length))))
+    pn_encoded = (packet.packet_number & ((1 << (8 * packet.pn_length)) - 1)).to_bytes(
+        packet.pn_length, "big"
+    )
+    writer.write(pn_encoded)
+    header = writer.getvalue()
+    return protection.protect(is_server, header, packet.packet_number, packet.payload)
+
+
+def encode_retry(packet: RetryPacket) -> bytes:
+    """Serialize a Retry packet.
+
+    The 16-byte Retry integrity tag is modelled as a SHA-256 truncation of
+    the pseudo-packet; real stacks use AES-GCM with a fixed key (RFC 9001
+    §5.8).  Telescope analyses never validate this tag, only observe it.
+    """
+    writer = Writer()
+    writer.write_u8(FORM_BIT | FIXED_BIT | (PacketType.RETRY.value << 4))
+    writer.write_u32(packet.version)
+    _write_cid(writer, packet.dcid)
+    _write_cid(writer, packet.scid)
+    writer.write(packet.retry_token)
+    tag = hashlib.sha256(b"quic-retry" + writer.getvalue()).digest()[:16]
+    writer.write(tag)
+    return writer.getvalue()
+
+
+def encode_version_negotiation(packet: VersionNegotiationPacket) -> bytes:
+    """Serialize a Version Negotiation packet (version field zero)."""
+    writer = Writer()
+    writer.write_u8(FORM_BIT | 0x2A)  # unused bits can be arbitrary; be stable
+    writer.write_u32(VERSION_NEGOTIATION)
+    _write_cid(writer, packet.dcid)
+    _write_cid(writer, packet.scid)
+    for version in packet.supported_versions:
+        writer.write_u32(version)
+    return writer.getvalue()
+
+
+def _write_cid(writer: Writer, cid: bytes) -> None:
+    if len(cid) > 20:
+        raise PacketParseError("connection IDs are at most 20 bytes")
+    writer.write_u8(len(cid))
+    writer.write(cid)
+
+
+@dataclass
+class CoalescedDatagram:
+    """Builder for a UDP datagram carrying one or more QUIC packets."""
+
+    packets: list[bytes] = field(default_factory=list)
+
+    def add(self, encoded_packet: bytes) -> "CoalescedDatagram":
+        self.packets.append(encoded_packet)
+        return self
+
+    def build(self) -> bytes:
+        return b"".join(self.packets)
+
+
+def encode_datagram(
+    packets: list[LongHeaderPacket],
+    protection: PacketProtection,
+    is_server: bool,
+    pad_to: int = 0,
+) -> bytes:
+    """Protect and coalesce ``packets`` into one datagram.
+
+    If ``pad_to`` is non-zero and the datagram would be shorter, the *last*
+    packet's payload is extended with PADDING frames (0x00 bytes) so the
+    datagram reaches the target size — the standard way stacks satisfy the
+    1200-byte Initial minimum.
+    """
+    if not packets:
+        raise PacketParseError("cannot encode an empty datagram")
+    encoded = [encode_packet(p, protection, is_server) for p in packets]
+    total = sum(len(e) for e in encoded)
+    if pad_to and total < pad_to:
+        deficit = pad_to - total
+        last = packets[-1]
+        padded = LongHeaderPacket(
+            packet_type=last.packet_type,
+            version=last.version,
+            dcid=last.dcid,
+            scid=last.scid,
+            packet_number=last.packet_number,
+            payload=last.payload + b"\x00" * deficit,
+            token=last.token,
+            pn_length=last.pn_length,
+        )
+        encoded[-1] = encode_packet(padded, protection, is_server)
+    return b"".join(encoded)
+
+
+@dataclass
+class ParsedShortHeader:
+    """Cleartext fields of a 1-RTT packet (given a known CID length)."""
+
+    dcid: bytes
+    pn_offset: int
+    spin_bit: bool
+
+
+def encode_short_packet(
+    packet: ShortHeaderPacket,
+    protection: PacketProtection,
+    is_server: bool,
+) -> bytes:
+    """Serialize and protect one 1-RTT packet.
+
+    The library reuses the connection's Initial-derived suite for 1-RTT
+    protection (a documented simplification — real stacks switch to
+    handshake-derived keys, which changes no observable header byte).
+    """
+    if not 1 <= packet.pn_length <= 4:
+        raise PacketParseError("packet number length must be 1..4")
+    writer = Writer()
+    first = FIXED_BIT | (packet.pn_length - 1)
+    if packet.spin_bit:
+        first |= 0x20
+    writer.write_u8(first)
+    writer.write(packet.dcid)
+    pn_encoded = (
+        packet.packet_number & ((1 << (8 * packet.pn_length)) - 1)
+    ).to_bytes(packet.pn_length, "big")
+    writer.write(pn_encoded)
+    header = writer.getvalue()
+    return protection.protect(is_server, header, packet.packet_number, packet.payload)
+
+
+def parse_short_header(
+    data: bytes, cid_length: int, offset: int = 0
+) -> ParsedShortHeader:
+    """Parse a 1-RTT header; the receiver supplies its own CID length."""
+    if offset >= len(data):
+        raise PacketParseError("empty packet")
+    first = data[offset]
+    if first & FORM_BIT:
+        raise PacketParseError("long-header packet, not 1-RTT")
+    if not first & FIXED_BIT:
+        raise PacketParseError("fixed bit is zero")
+    if offset + 1 + cid_length > len(data):
+        raise PacketParseError("packet shorter than the configured CID length")
+    return ParsedShortHeader(
+        dcid=data[offset + 1 : offset + 1 + cid_length],
+        pn_offset=1 + cid_length,
+        spin_bit=bool(first & 0x20),
+    )
+
+
+def unprotect_short_packet(
+    parsed: ParsedShortHeader,
+    packet_bytes: bytes,
+    protection: PacketProtection,
+    from_server: bool,
+) -> ShortHeaderPacket:
+    """Remove protection from a parsed 1-RTT packet."""
+    plaintext, packet_number, pn_length = protection.unprotect(
+        from_server, packet_bytes, parsed.pn_offset
+    )
+    return ShortHeaderPacket(
+        dcid=parsed.dcid,
+        packet_number=packet_number,
+        payload=plaintext,
+        pn_length=pn_length,
+        spin_bit=parsed.spin_bit,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Parsing (keyless — the telescope view)
+# ---------------------------------------------------------------------------
+
+
+def parse_long_header(data: bytes, offset: int = 0) -> ParsedLongHeader:
+    """Parse the cleartext fields of the long-header packet at ``offset``.
+
+    Works on protected packets: every returned field is transmitted in the
+    clear.  ``packet_length`` tells callers where the next coalesced packet
+    begins.
+    """
+    reader = Reader(data, offset)
+    try:
+        first = reader.read_u8()
+        if not first & FORM_BIT:
+            raise PacketParseError("not a long-header packet")
+        version = reader.read_u32()
+        dcid_len = reader.read_u8()
+        if dcid_len > 20:
+            raise PacketParseError("DCID length %d exceeds 20" % dcid_len)
+        dcid = reader.read(dcid_len)
+        scid_len = reader.read_u8()
+        if scid_len > 20:
+            raise PacketParseError("SCID length %d exceeds 20" % scid_len)
+        scid = reader.read(scid_len)
+
+        if version == VERSION_NEGOTIATION:
+            versions = []
+            while reader.remaining >= 4:
+                versions.append(reader.read_u32())
+            return ParsedLongHeader(
+                packet_type=PacketType.VERSION_NEGOTIATION,
+                version=version,
+                dcid=dcid,
+                scid=scid,
+                token=b"",
+                pn_offset=reader.pos - offset,
+                packet_length=reader.pos - offset,
+                payload_length=0,
+                supported_versions=tuple(versions),
+            )
+
+        if not first & FIXED_BIT:
+            raise PacketParseError("fixed bit is zero")
+
+        packet_type = PacketType((first >> 4) & 0x03)
+        if packet_type is PacketType.RETRY:
+            retry_token = reader.read_rest()
+            if len(retry_token) < 16:
+                raise PacketParseError("Retry packet shorter than integrity tag")
+            return ParsedLongHeader(
+                packet_type=packet_type,
+                version=version,
+                dcid=dcid,
+                scid=scid,
+                token=b"",
+                pn_offset=len(data) - offset,
+                packet_length=len(data) - offset,
+                payload_length=0,
+                retry_token=retry_token[:-16],
+            )
+
+        token = b""
+        if packet_type is PacketType.INITIAL:
+            token_length = read_varint(reader)
+            token = reader.read(token_length)
+        payload_length = read_varint(reader)
+        pn_offset = reader.pos - offset
+        packet_length = pn_offset + payload_length
+        if offset + packet_length > len(data):
+            raise PacketParseError(
+                "declared length %d overruns datagram" % payload_length
+            )
+        return ParsedLongHeader(
+            packet_type=packet_type,
+            version=version,
+            dcid=dcid,
+            scid=scid,
+            token=token,
+            pn_offset=pn_offset,
+            packet_length=packet_length,
+            payload_length=payload_length,
+        )
+    except BufferError_ as exc:
+        raise PacketParseError(str(exc)) from exc
+
+
+def decode_datagram(data: bytes) -> list[tuple[ParsedLongHeader, bytes]]:
+    """Split a datagram into its coalesced packets (keyless).
+
+    Returns a list of ``(parsed_header, packet_bytes)`` pairs.  A trailing
+    short-header packet (first byte without the form bit) terminates the
+    scan and is not returned — telescope analyses only use long headers.
+    Raises :class:`PacketParseError` if the datagram starts with bytes that
+    are not a QUIC long header.
+    """
+    out: list[tuple[ParsedLongHeader, bytes]] = []
+    offset = 0
+    while offset < len(data):
+        first = data[offset]
+        if not first & FORM_BIT:
+            break  # short-header packet or padding: end of long-header chain
+        parsed = parse_long_header(data, offset)
+        out.append((parsed, data[offset : offset + parsed.packet_length]))
+        if parsed.packet_type in (
+            PacketType.VERSION_NEGOTIATION,
+            PacketType.RETRY,
+        ):
+            break
+        offset += parsed.packet_length
+    if not out:
+        raise PacketParseError("datagram does not start with a long-header packet")
+    return out
+
+
+def unprotect_packet(
+    parsed: ParsedLongHeader,
+    packet_bytes: bytes,
+    protection: PacketProtection,
+    from_server: bool,
+) -> LongHeaderPacket:
+    """Remove protection from a parsed Initial/Handshake/0-RTT packet."""
+    if parsed.packet_type in (PacketType.RETRY, PacketType.VERSION_NEGOTIATION):
+        raise ProtectionError("%s packets are not protected" % parsed.packet_type.label)
+    plaintext, packet_number, pn_length = protection.unprotect(
+        from_server, packet_bytes, parsed.pn_offset
+    )
+    return LongHeaderPacket(
+        packet_type=parsed.packet_type,
+        version=parsed.version,
+        dcid=parsed.dcid,
+        scid=parsed.scid,
+        packet_number=packet_number,
+        payload=plaintext,
+        token=parsed.token,
+        pn_length=pn_length,
+    )

@@ -1,0 +1,146 @@
+"""QUIC transport parameters (RFC 9000 §18).
+
+Transport parameters ride inside the TLS handshake.  Active scans (the
+Zirngibl et al. campaign the paper builds on) extract them to fingerprint
+stacks; our active prober does the same against simulated deployments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.buffer import BufferError_, Reader, Writer
+from repro.quic.varint import encode_varint, read_varint
+
+# Parameter IDs (RFC 9000 §18.2).
+ORIGINAL_DESTINATION_CONNECTION_ID = 0x00
+MAX_IDLE_TIMEOUT = 0x01
+STATELESS_RESET_TOKEN = 0x02
+MAX_UDP_PAYLOAD_SIZE = 0x03
+INITIAL_MAX_DATA = 0x04
+INITIAL_MAX_STREAM_DATA_BIDI_LOCAL = 0x05
+INITIAL_MAX_STREAM_DATA_BIDI_REMOTE = 0x06
+INITIAL_MAX_STREAM_DATA_UNI = 0x07
+INITIAL_MAX_STREAMS_BIDI = 0x08
+INITIAL_MAX_STREAMS_UNI = 0x09
+ACK_DELAY_EXPONENT = 0x0A
+MAX_ACK_DELAY = 0x0B
+DISABLE_ACTIVE_MIGRATION = 0x0C
+ACTIVE_CONNECTION_ID_LIMIT = 0x0E
+INITIAL_SOURCE_CONNECTION_ID = 0x0F
+RETRY_SOURCE_CONNECTION_ID = 0x10
+
+#: Parameters whose value is a varint (vs opaque bytes or zero-length flag).
+_VARINT_PARAMS = {
+    MAX_IDLE_TIMEOUT,
+    MAX_UDP_PAYLOAD_SIZE,
+    INITIAL_MAX_DATA,
+    INITIAL_MAX_STREAM_DATA_BIDI_LOCAL,
+    INITIAL_MAX_STREAM_DATA_BIDI_REMOTE,
+    INITIAL_MAX_STREAM_DATA_UNI,
+    INITIAL_MAX_STREAMS_BIDI,
+    INITIAL_MAX_STREAMS_UNI,
+    ACK_DELAY_EXPONENT,
+    MAX_ACK_DELAY,
+    ACTIVE_CONNECTION_ID_LIMIT,
+}
+
+_NAMES = {
+    ORIGINAL_DESTINATION_CONNECTION_ID: "original_destination_connection_id",
+    MAX_IDLE_TIMEOUT: "max_idle_timeout",
+    STATELESS_RESET_TOKEN: "stateless_reset_token",
+    MAX_UDP_PAYLOAD_SIZE: "max_udp_payload_size",
+    INITIAL_MAX_DATA: "initial_max_data",
+    INITIAL_MAX_STREAM_DATA_BIDI_LOCAL: "initial_max_stream_data_bidi_local",
+    INITIAL_MAX_STREAM_DATA_BIDI_REMOTE: "initial_max_stream_data_bidi_remote",
+    INITIAL_MAX_STREAM_DATA_UNI: "initial_max_stream_data_uni",
+    INITIAL_MAX_STREAMS_BIDI: "initial_max_streams_bidi",
+    INITIAL_MAX_STREAMS_UNI: "initial_max_streams_uni",
+    ACK_DELAY_EXPONENT: "ack_delay_exponent",
+    MAX_ACK_DELAY: "max_ack_delay",
+    DISABLE_ACTIVE_MIGRATION: "disable_active_migration",
+    ACTIVE_CONNECTION_ID_LIMIT: "active_connection_id_limit",
+    INITIAL_SOURCE_CONNECTION_ID: "initial_source_connection_id",
+    RETRY_SOURCE_CONNECTION_ID: "retry_source_connection_id",
+}
+
+
+class TransportParamError(ValueError):
+    """Raised on malformed transport parameter encodings."""
+
+
+@dataclass
+class TransportParameters:
+    """An ordered mapping of parameter ID to raw or integer value."""
+
+    values: dict[int, object] = field(default_factory=dict)
+
+    def set(self, param_id: int, value) -> "TransportParameters":
+        self.values[param_id] = value
+        return self
+
+    def get(self, param_id: int, default=None):
+        return self.values.get(param_id, default)
+
+    def named(self) -> dict[str, object]:
+        """Return values keyed by human-readable names (unknown → hex id)."""
+        return {
+            _NAMES.get(pid, "param_0x%02x" % pid): value
+            for pid, value in self.values.items()
+        }
+
+    def encode(self) -> bytes:
+        writer = Writer()
+        for param_id, value in self.values.items():
+            writer.write(encode_varint(param_id))
+            if param_id in _VARINT_PARAMS:
+                if not isinstance(value, int):
+                    raise TransportParamError(
+                        "parameter 0x%02x expects an integer" % param_id
+                    )
+                encoded = encode_varint(value)
+            elif param_id == DISABLE_ACTIVE_MIGRATION:
+                encoded = b""
+            else:
+                if not isinstance(value, (bytes, bytearray)):
+                    raise TransportParamError(
+                        "parameter 0x%02x expects bytes" % param_id
+                    )
+                encoded = bytes(value)
+            writer.write(encode_varint(len(encoded)))
+            writer.write(encoded)
+        return writer.getvalue()
+
+    @classmethod
+    def decode(cls, data: bytes) -> "TransportParameters":
+        reader = Reader(data)
+        params = cls()
+        try:
+            while not reader.at_end():
+                param_id = read_varint(reader)
+                length = read_varint(reader)
+                raw = reader.read(length)
+                if param_id in _VARINT_PARAMS:
+                    value, consumed = _decode_varint_value(raw)
+                    if consumed != len(raw):
+                        raise TransportParamError(
+                            "trailing bytes in varint parameter 0x%02x" % param_id
+                        )
+                    params.values[param_id] = value
+                elif param_id == DISABLE_ACTIVE_MIGRATION:
+                    if raw:
+                        raise TransportParamError(
+                            "disable_active_migration must be empty"
+                        )
+                    params.values[param_id] = True
+                else:
+                    params.values[param_id] = raw
+        except BufferError_ as exc:
+            raise TransportParamError(str(exc)) from exc
+        return params
+
+
+def _decode_varint_value(raw: bytes) -> tuple[int, int]:
+    reader = Reader(raw)
+    value = read_varint(reader)
+    return value, reader.pos

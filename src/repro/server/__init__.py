@@ -1,0 +1,31 @@
+"""Hypergiant QUIC server fabric: stacks, profiles, and load balancers.
+
+The observable behaviours the paper measures — SCID structure, packet
+coalescence, padding, retransmission schedules, 5-tuple vs CID-aware
+routing — are configured per deployment through
+:class:`~repro.server.profiles.ServerProfile` and executed by
+:class:`~repro.server.engine.QuicServerEngine` instances running behind the
+load-balancer fabric in :mod:`repro.server.lb`.
+"""
+
+from repro.server.profiles import (
+    CLOUDFLARE_PROFILE,
+    FACEBOOK_PROFILE,
+    GOOGLE_PROFILE,
+    ServerProfile,
+    generic_profile,
+)
+from repro.server.engine import QuicServerEngine
+from repro.server.lb.cluster import FrontendCluster
+from repro.server.simple import SimpleQuicServer
+
+__all__ = [
+    "ServerProfile",
+    "CLOUDFLARE_PROFILE",
+    "FACEBOOK_PROFILE",
+    "GOOGLE_PROFILE",
+    "generic_profile",
+    "QuicServerEngine",
+    "FrontendCluster",
+    "SimpleQuicServer",
+]

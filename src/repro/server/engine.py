@@ -1,0 +1,499 @@
+"""Server-side QUIC engine: handshakes, retransmissions, state discard.
+
+One engine instance represents one *worker* (process) on one L7LB host —
+the granularity at which Facebook tracks connection state (paper §4.3).
+The engine implements the behaviours the telescope observes:
+
+* replies to client Initials with an Initial+Handshake flight, coalesced or
+  not per profile, padded to the profile's characteristic datagram sizes;
+* retransmits the flight on the profile's RTO schedule (exponential
+  backoff) up to the instance's maximum — the Figure 3/4 signal;
+* chooses SCIDs through the profile's CID scheme — the Figure 5 signal;
+* silently discards packets that match an existing connection's CID but
+  are inconsistent with its state (RFC 9000 §5.2) — the Appendix-D lever
+  used to detect same-instance routing.
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.netstack.udp import UdpDatagram
+from repro.quic.cid.base import CidContext, RandomScheme
+from repro.quic.cid.google import GoogleEchoScheme
+from repro.quic.crypto.suites import PacketProtection, ProtectionError, suite_by_name
+from repro.quic.frames import (
+    AckFrame,
+    AckRange,
+    CryptoFrame,
+    FrameParseError,
+    NewConnectionIdFrame,
+    PingFrame,
+    decode_frames,
+    encode_frames,
+)
+from repro.quic.packet import (
+    FORM_BIT,
+    LongHeaderPacket,
+    PacketParseError,
+    PacketType,
+    RetryPacket,
+    ShortHeaderPacket,
+    VersionNegotiationPacket,
+    decode_datagram,
+    encode_datagram,
+    encode_retry,
+    encode_short_packet,
+    encode_version_negotiation,
+    parse_short_header,
+    unprotect_short_packet,
+)
+from repro.quic.transport_params import (
+    ACTIVE_CONNECTION_ID_LIMIT,
+    INITIAL_SOURCE_CONNECTION_ID,
+    MAX_IDLE_TIMEOUT,
+    MAX_UDP_PAYLOAD_SIZE,
+    TransportParameters,
+)
+from repro.server.profiles import ServerProfile
+from repro.simnet.eventloop import Event, EventLoop
+from repro.tls.certs import Certificate
+from repro.tls.handshake import ServerHello, encode_handshake
+
+#: Marker introducing the certificate blob inside Handshake CRYPTO data.
+CERT_MAGIC = b"CRT1"
+
+
+class ConnState(enum.Enum):
+    AWAIT_CLIENT = 1  # flight sent, waiting for client Handshake/ACK
+    ESTABLISHED = 2
+    CLOSED = 3
+
+
+@dataclass
+class ServerConnection:
+    """Per-connection server state."""
+
+    scid: bytes  # server-chosen CID (S2)
+    original_dcid: bytes  # client's temporary server CID (S1)
+    client_cid: bytes  # client-chosen CID (C1)
+    client_ip: int
+    client_port: int
+    vip: int
+    version: int
+    protection: PacketProtection
+    state: ConnState = ConnState.AWAIT_CLIENT
+    created_at: float = 0.0
+    last_active: float = 0.0
+    retransmits_done: int = 0
+    max_retransmits: int = 0
+    retransmit_event: Optional[Event] = None
+    next_packet_number: int = 0
+    coalesced: bool = False
+    #: Additional CIDs issued via NEW_CONNECTION_ID (sequence order).
+    issued_cids: list[bytes] = field(default_factory=list)
+    short_packet_number: int = 0
+
+    def consistent_with(self, datagram: UdpDatagram, client_scid: bytes) -> bool:
+        """Does this packet plausibly continue the stored connection?"""
+        return (
+            datagram.src_ip == self.client_ip
+            and datagram.src_port == self.client_port
+            and client_scid == self.client_cid
+        )
+
+
+@dataclass
+class EngineStats:
+    initials_received: int = 0
+    connections_created: int = 0
+    flights_sent: int = 0
+    retransmissions: int = 0
+    established: int = 0
+    discarded_inconsistent: int = 0
+    version_negotiations: int = 0
+    retries_sent: int = 0
+    non_quic_ignored: int = 0
+    expired: int = 0
+    short_packets_received: int = 0
+    migrations_accepted: int = 0
+    stateless_resets_sent: int = 0
+    new_cids_issued: int = 0
+
+
+class QuicServerEngine:
+    """One QUIC-terminating worker process."""
+
+    def __init__(
+        self,
+        profile: ServerProfile,
+        loop: EventLoop,
+        rng: random.Random,
+        send: Callable[[UdpDatagram], None],
+        host_id: int = 0,
+        worker_id: int = 0,
+        process_id: int = 0,
+        certificate: Certificate | None = None,
+    ) -> None:
+        self.profile = profile
+        self.loop = loop
+        self.rng = rng
+        self._send = send
+        self.host_id = host_id
+        self.worker_id = worker_id
+        self.process_id = process_id
+        self.certificate = certificate
+        self.stats = EngineStats()
+        self._suite = suite_by_name(profile.protection_suite)
+        #: Connections addressable by the server-chosen CID.
+        self._by_scid: dict[bytes, ServerConnection] = {}
+        #: Dedup of client Initials: (src, sport, original dcid) → connection.
+        self._by_origin: dict[tuple[int, int, bytes], ServerConnection] = {}
+        self._max_retransmits = profile.draw_max_retransmits(rng)
+        # CID rotation: echo schemes cannot mint *new* IDs (they only
+        # reflect the client's DCID), so rotation falls back to random —
+        # exactly the property that breaks migration under CID-aware
+        # routing without encoded information (paper §2.2).
+        if isinstance(profile.cid_scheme, GoogleEchoScheme):
+            self._rotation_scheme = RandomScheme(length=profile.cid_scheme.length)
+        else:
+            self._rotation_scheme = profile.cid_scheme
+
+    # ------------------------------------------------------------------ API
+    @property
+    def connection_count(self) -> int:
+        # _by_scid may hold several aliases per connection (rotated CIDs).
+        return len(self._by_origin)
+
+    def on_datagram(self, datagram: UdpDatagram, now: float) -> None:
+        """Entry point: one UDP datagram addressed to this worker."""
+        if datagram.payload and not datagram.payload[0] & FORM_BIT:
+            self._on_short(datagram, now)
+            return
+        try:
+            packets = decode_datagram(datagram.payload)
+        except PacketParseError:
+            self.stats.non_quic_ignored += 1
+            return
+        parsed, _raw = packets[0]
+
+        if parsed.packet_type is PacketType.VERSION_NEGOTIATION:
+            return  # servers never act on VN
+        existing = self._by_scid.get(parsed.dcid)
+        if existing is not None:
+            self._on_existing(existing, datagram, parsed, now)
+            return
+        if parsed.packet_type is PacketType.INITIAL:
+            self._on_new_initial(datagram, parsed, now)
+        elif parsed.packet_type is PacketType.ZERO_RTT:
+            # 0-RTT without cached state: silently dropped.
+            self.stats.discarded_inconsistent += 1
+        # Handshake packets for unknown connections are dropped silently.
+
+    # ----------------------------------------------------------- internals
+    def _on_existing(
+        self, conn: ServerConnection, datagram: UdpDatagram, parsed, now: float
+    ) -> None:
+        if (
+            conn.state is ConnState.ESTABLISHED
+            and now - conn.last_active > self.profile.idle_timeout
+        ):
+            self._drop_connection(conn)
+            self.stats.expired += 1
+            if parsed.packet_type is PacketType.INITIAL:
+                self._on_new_initial(datagram, parsed, now)
+            return
+        if not conn.consistent_with(datagram, parsed.scid):
+            # RFC 9000 §5.2: inconsistent packets for a known CID are
+            # silently discarded.  This is the Appendix-D observable.
+            self.stats.discarded_inconsistent += 1
+            return
+        conn.last_active = now
+        if conn.state is ConnState.AWAIT_CLIENT:
+            conn.state = ConnState.ESTABLISHED
+            self.stats.established += 1
+            if conn.retransmit_event is not None:
+                conn.retransmit_event.cancel()
+                conn.retransmit_event = None
+            self._issue_new_cid(conn)
+
+    def _on_new_initial(self, datagram: UdpDatagram, parsed, now: float) -> None:
+        self.stats.initials_received += 1
+        origin_key = (datagram.src_ip, datagram.src_port, parsed.dcid)
+        if origin_key in self._by_origin:
+            return  # duplicate client Initial; flight already scheduled
+        if parsed.version not in self.profile.supported_versions:
+            self._send_version_negotiation(datagram, parsed)
+            return
+        if (
+            self.profile.retry_probability
+            and not parsed.token
+            and self.rng.random() < self.profile.retry_probability
+        ):
+            self._send_retry(datagram, parsed)
+            return
+
+        context = CidContext(
+            host_id=self.host_id,
+            worker_id=self.worker_id,
+            process_id=self.process_id,
+            client_dcid=parsed.dcid,
+        )
+        scid = self.profile.cid_scheme.generate(self.rng, context)
+        protection = self._suite(parsed.version, parsed.dcid)
+        conn = ServerConnection(
+            scid=scid,
+            original_dcid=parsed.dcid,
+            client_cid=parsed.scid,
+            client_ip=datagram.src_ip,
+            client_port=datagram.src_port,
+            vip=datagram.dst_ip,
+            version=parsed.version,
+            protection=protection,
+            created_at=now,
+            last_active=now,
+            max_retransmits=self._max_retransmits,
+            coalesced=self.rng.random() < self.profile.coalesce_probability,
+        )
+        self._by_scid[scid] = conn
+        self._by_origin[origin_key] = conn
+        self.stats.connections_created += 1
+        self._send_flight(conn, datagram)
+        self._schedule_retransmit(conn, datagram, self.profile.initial_rto)
+
+    # -------------------------------------------------------- 1-RTT traffic
+    def _on_short(self, datagram: UdpDatagram, now: float) -> None:
+        """Handle a 1-RTT packet: continuation, migration, or reset."""
+        self.stats.short_packets_received += 1
+        try:
+            parsed = parse_short_header(
+                datagram.payload, self.profile.cid_scheme.length
+            )
+        except PacketParseError:
+            self.stats.non_quic_ignored += 1
+            return
+        conn = self._by_scid.get(parsed.dcid)
+        if (
+            conn is None
+            or conn.state is not ConnState.ESTABLISHED
+            or now - conn.last_active > self.profile.idle_timeout
+        ):
+            if conn is not None:
+                self._drop_connection(conn)
+                self.stats.expired += 1
+            # RFC 9000 §10.3: no matching connection -> stateless reset.
+            self._send_stateless_reset(datagram, parsed.dcid)
+            return
+        try:
+            plain = unprotect_short_packet(
+                parsed, datagram.payload, conn.protection, from_server=False
+            )
+            decode_frames(plain.payload)
+        except (ProtectionError, FrameParseError):
+            self.stats.discarded_inconsistent += 1
+            return
+        if (datagram.src_ip, datagram.src_port) != (conn.client_ip, conn.client_port):
+            # Valid packet from a new path: connection migration.  (Path
+            # validation is collapsed into immediate acceptance.)
+            conn.client_ip = datagram.src_ip
+            conn.client_port = datagram.src_port
+            self.stats.migrations_accepted += 1
+        conn.last_active = now
+        self._send_short(conn, [PingFrame()], datagram)
+
+    def _issue_new_cid(self, conn: ServerConnection) -> None:
+        """Send NEW_CONNECTION_ID with a spare CID after establishment."""
+        context = CidContext(
+            host_id=self.host_id,
+            worker_id=self.worker_id,
+            process_id=self.process_id,
+            client_dcid=conn.original_dcid,
+        )
+        new_cid = self._rotation_scheme.generate(self.rng, context)
+        if new_cid in self._by_scid:
+            return  # astronomically unlikely collision; skip the rotation
+        conn.issued_cids.append(new_cid)
+        self._by_scid[new_cid] = conn
+        self.stats.new_cids_issued += 1
+        frame = NewConnectionIdFrame(
+            sequence_number=len(conn.issued_cids),
+            retire_prior_to=0,
+            connection_id=new_cid,
+            stateless_reset_token=self.rng.getrandbits(128).to_bytes(16, "big"),
+        )
+        self._send_short(conn, [frame], None)
+
+    def _send_short(
+        self,
+        conn: ServerConnection,
+        frames: list,
+        request: UdpDatagram | None,
+    ) -> None:
+        payload = encode_frames(frames)
+        if len(payload) < 24:
+            # Keep the packet long enough for the header-protection sample
+            # (RFC 9001 §5.4.2) — real stacks pad tiny 1-RTT packets too.
+            payload += b"\x00" * (24 - len(payload))
+        packet = ShortHeaderPacket(
+            dcid=conn.client_cid,
+            packet_number=conn.short_packet_number,
+            payload=payload,
+        )
+        conn.short_packet_number += 1
+        data = encode_short_packet(packet, conn.protection, is_server=True)
+        self._send(
+            UdpDatagram(
+                src_ip=conn.vip,
+                dst_ip=request.src_ip if request else conn.client_ip,
+                src_port=443,
+                dst_port=request.src_port if request else conn.client_port,
+                payload=data,
+            )
+        )
+
+    def _send_stateless_reset(self, request: UdpDatagram, dcid: bytes) -> None:
+        """RFC 9000 §10.3: unpredictable bytes ending in a reset token."""
+        filler_len = max(5, 22 - 16)
+        filler = bytearray(self.rng.getrandbits(8 * filler_len).to_bytes(filler_len, "big"))
+        filler[0] = 0x40 | (filler[0] & 0x3F)  # looks like a short header
+        token = self.rng.getrandbits(128).to_bytes(16, "big")
+        self._reply(request, request.dst_ip, bytes(filler) + token)
+        self.stats.stateless_resets_sent += 1
+
+    def _schedule_retransmit(
+        self, conn: ServerConnection, datagram: UdpDatagram, timeout: float
+    ) -> None:
+        def fire() -> None:
+            if conn.state is not ConnState.AWAIT_CLIENT:
+                return
+            if conn.retransmits_done >= conn.max_retransmits:
+                conn.state = ConnState.CLOSED
+                self._drop_connection(conn)
+                return
+            conn.retransmits_done += 1
+            self.stats.retransmissions += 1
+            self._send_flight(conn, datagram)
+            self._schedule_retransmit(conn, datagram, timeout * self.profile.rto_backoff)
+
+        conn.retransmit_event = self.loop.schedule(timeout, fire)
+
+    def _drop_connection(self, conn: ServerConnection) -> None:
+        self._by_scid.pop(conn.scid, None)
+        for issued in conn.issued_cids:
+            self._by_scid.pop(issued, None)
+        self._by_origin.pop((conn.client_ip, conn.client_port, conn.original_dcid), None)
+        if conn.retransmit_event is not None:
+            conn.retransmit_event.cancel()
+            conn.retransmit_event = None
+
+    # --------------------------------------------------------- flight build
+    def _server_hello_bytes(self, conn: ServerConnection) -> bytes:
+        params = TransportParameters()
+        params.set(INITIAL_SOURCE_CONNECTION_ID, conn.scid)
+        params.set(MAX_IDLE_TIMEOUT, int(self.profile.idle_timeout * 1000))
+        params.set(MAX_UDP_PAYLOAD_SIZE, 1472)
+        params.set(ACTIVE_CONNECTION_ID_LIMIT, 4)
+        hello = ServerHello(
+            random=self.rng.getrandbits(256).to_bytes(32, "big"),
+            quic_transport_parameters=params.encode(),
+        )
+        return encode_handshake(hello)
+
+    def _handshake_crypto(self) -> bytes:
+        if self.certificate is None:
+            return CERT_MAGIC + (0).to_bytes(2, "big")
+        raw = self.certificate.encode()
+        return CERT_MAGIC + len(raw).to_bytes(2, "big") + raw
+
+    def _send_flight(self, conn: ServerConnection, request: UdpDatagram) -> None:
+        initial_payload = encode_frames(
+            [
+                AckFrame(largest_acked=0, ranges=(AckRange(0, 0),)),
+                CryptoFrame(offset=0, data=self._server_hello_bytes(conn)),
+            ]
+        )
+        handshake_payload = encode_frames(
+            [CryptoFrame(offset=0, data=self._handshake_crypto())]
+        )
+        initial_pkt = LongHeaderPacket(
+            packet_type=PacketType.INITIAL,
+            version=conn.version,
+            dcid=conn.client_cid,
+            scid=conn.scid,
+            packet_number=conn.next_packet_number,
+            payload=initial_payload,
+            pn_length=1,
+        )
+        handshake_pkt = LongHeaderPacket(
+            packet_type=PacketType.HANDSHAKE,
+            version=conn.version,
+            dcid=conn.client_cid,
+            scid=conn.scid,
+            packet_number=conn.next_packet_number + 1,
+            payload=handshake_payload,
+            pn_length=1,
+        )
+        conn.next_packet_number += 2
+        profile = self.profile
+        if conn.coalesced:
+            data = encode_datagram(
+                [initial_pkt, handshake_pkt],
+                conn.protection,
+                is_server=True,
+                pad_to=profile.coalesced_datagram_size,
+            )
+            self._reply(request, conn.vip, data)
+        else:
+            first = encode_datagram(
+                [initial_pkt],
+                conn.protection,
+                is_server=True,
+                pad_to=profile.initial_datagram_size,
+            )
+            second = encode_datagram(
+                [handshake_pkt],
+                conn.protection,
+                is_server=True,
+                pad_to=profile.handshake_datagram_size,
+            )
+            self._reply(request, conn.vip, first)
+            self._reply(request, conn.vip, second)
+        self.stats.flights_sent += 1
+
+    def _send_version_negotiation(self, request: UdpDatagram, parsed) -> None:
+        packet = VersionNegotiationPacket(
+            dcid=parsed.scid,
+            scid=parsed.dcid,
+            supported_versions=self.profile.supported_versions,
+        )
+        self._reply(request, request.dst_ip, encode_version_negotiation(packet))
+        self.stats.version_negotiations += 1
+
+    def _send_retry(self, request: UdpDatagram, parsed) -> None:
+        context = CidContext(
+            host_id=self.host_id,
+            worker_id=self.worker_id,
+            process_id=self.process_id,
+            client_dcid=parsed.dcid,
+        )
+        scid = self.profile.cid_scheme.generate(self.rng, context)
+        token = b"retry-" + self.rng.getrandbits(64).to_bytes(8, "big")
+        packet = RetryPacket(
+            version=parsed.version, dcid=parsed.scid, scid=scid, retry_token=token
+        )
+        self._reply(request, request.dst_ip, encode_retry(packet))
+        self.stats.retries_sent += 1
+
+    def _reply(self, request: UdpDatagram, vip: int, payload: bytes) -> None:
+        self._send(
+            UdpDatagram(
+                src_ip=vip,
+                dst_ip=request.src_ip,
+                src_port=request.dst_port,
+                dst_port=request.src_port,
+                payload=payload,
+            )
+        )

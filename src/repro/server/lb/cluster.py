@@ -1,0 +1,126 @@
+"""A frontend cluster: one /24 of VIPs fronting many L7LB hosts.
+
+Mirrors the paper's Figure 2: requests to any VIP of the cluster hit one of
+several L4LBs via ECMP; every L4LB shares the same Maglev view of the
+cluster's L7 hosts, so the choice of L4LB is invisible.  Host IDs are
+unique *within* a cluster (the paper finds host IDs reused across off-net
+deployments but unique per on-net cluster).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+
+from repro.netstack.addr import Prefix
+from repro.netstack.udp import UdpDatagram
+from repro.server.lb.l4lb import L4LoadBalancer
+from repro.server.lb.l7lb import L7LbHost
+from repro.server.lb.maglev import MaglevTable, flow_key
+from repro.server.profiles import ServerProfile
+from repro.simnet.eventloop import EventLoop
+from repro.simnet.network import Device
+from repro.tls.certs import Certificate
+
+
+class FrontendCluster(Device):
+    """One point of presence of a hypergiant."""
+
+    def __init__(
+        self,
+        name: str,
+        prefix: Prefix | str,
+        profile: ServerProfile,
+        loop: EventLoop,
+        rng: random.Random,
+        vip_count: int = 22,
+        l7_host_count: int = 16,
+        l4_count: int = 4,
+        host_id_base: int = 1,
+        certificate: Certificate | None = None,
+        country: str = "US",
+        maglev_table_size: int = 1021,
+    ) -> None:
+        super().__init__(name)
+        if isinstance(prefix, str):
+            prefix = Prefix.parse(prefix)
+        if vip_count > prefix.size - 2:
+            raise ValueError("prefix %s too small for %d VIPs" % (prefix, vip_count))
+        self.prefix = prefix
+        self.profile = profile
+        self.loop = loop
+        self.country = country
+        #: VIPs start at .1 (network address excluded).
+        self.vips: list[int] = [prefix.host(1 + i) for i in range(vip_count)]
+        self._vip_set = set(self.vips)
+        #: Host IDs are contiguous from ``host_id_base`` — the paper observes
+        #: low host IDs at off-nets; scenarios set the base accordingly.
+        self.hosts: list[L7LbHost] = [
+            L7LbHost(
+                host_id=host_id_base + i,
+                profile=profile,
+                loop=loop,
+                rng=rng,
+                send=self._send_reply,
+                certificate=certificate,
+                address=prefix.host(prefix.size - 2) ,  # shared DSR address
+            )
+            for i in range(l7_host_count)
+        ]
+        shared_maglev = MaglevTable(
+            [b"l7-%d" % h.host_id for h in self.hosts], table_size=maglev_table_size
+        )
+        quic_lb_config = getattr(profile.cid_scheme, "config", None)
+        self.l4lbs: list[L4LoadBalancer] = [
+            L4LoadBalancer(
+                name="%s-l4-%d" % (name, i),
+                address=prefix.host(prefix.size - 2),
+                hosts=self.hosts,
+                routing=profile.routing,
+                maglev=shared_maglev,
+                cid_length=profile.cid_scheme.length,
+                quic_lb_config=quic_lb_config,
+            )
+            for i in range(l4_count)
+        ]
+        self.dropped_non_vip = 0
+
+    # -- Device interface ----------------------------------------------------
+    def prefixes(self) -> list[Prefix]:
+        return [self.prefix]
+
+    def handle_datagram(self, datagram: UdpDatagram, now: float) -> None:
+        if datagram.dst_ip not in self._vip_set:
+            self.dropped_non_vip += 1
+            return
+        l4 = self._ecmp_select(datagram)
+        l4.forward(datagram, now)
+
+    def _ecmp_select(self, datagram: UdpDatagram) -> L4LoadBalancer:
+        """Router ECMP: 5-tuple hash chooses the L4LB instance."""
+        key = flow_key(
+            datagram.src_ip, datagram.src_port, datagram.dst_ip, datagram.dst_port
+        )
+        digest = hashlib.sha256(b"ecmp" + key).digest()
+        return self.l4lbs[digest[0] % len(self.l4lbs)]
+
+    def _send_reply(self, datagram: UdpDatagram) -> None:
+        """Direct server return: L7 hosts reply straight to the network."""
+        self.send(datagram)
+
+    # -- introspection ---------------------------------------------------------
+    @property
+    def host_ids(self) -> list[int]:
+        return [h.host_id for h in self.hosts]
+
+    def total_connections(self) -> int:
+        return sum(h.total_connections() for h in self.hosts)
+
+    def engine_stats(self) -> dict[str, int]:
+        """Aggregate engine counters across every materialized worker."""
+        totals: dict[str, int] = {}
+        for host in self.hosts:
+            for worker in host.workers.values():
+                for key, value in vars(worker.stats).items():
+                    totals[key] = totals.get(key, 0) + value
+        return totals

@@ -1,0 +1,95 @@
+"""Maglev consistent hashing (Eisenbud et al., NSDI 2016 §3.4).
+
+Each backend generates a permutation of the table from two hashes of its
+name; backends take turns claiming their next preferred slot until the
+table is full.  The result: near-uniform load, and minimal disruption when
+backends come or go — the property that lets every L4LB instance compute
+the same mapping independently (which is why ECMP across L4LBs is
+transparent to clients).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Sequence
+
+#: Default lookup-table size.  Must be prime; 1021 keeps construction cheap
+#: while giving <1% load imbalance for the backend counts we simulate (the
+#: production paper uses 65537).
+DEFAULT_TABLE_SIZE = 1021
+
+
+def _is_prime(n: int) -> bool:
+    if n < 2:
+        return False
+    if n % 2 == 0:
+        return n == 2
+    f = 3
+    while f * f <= n:
+        if n % f == 0:
+            return False
+        f += 2
+    return True
+
+
+def _hash64(data: bytes, salt: bytes) -> int:
+    return int.from_bytes(hashlib.sha256(salt + data).digest()[:8], "big")
+
+
+class MaglevTable:
+    """Immutable lookup table mapping hashable keys to backend indices."""
+
+    def __init__(self, backend_names: Sequence[bytes], table_size: int = DEFAULT_TABLE_SIZE) -> None:
+        if not backend_names:
+            raise ValueError("Maglev needs at least one backend")
+        if not _is_prime(table_size):
+            raise ValueError("Maglev table size must be prime, got %d" % table_size)
+        if len(backend_names) > table_size:
+            raise ValueError("more backends than table slots")
+        self.table_size = table_size
+        self.backend_count = len(backend_names)
+        self._table = self._populate(list(backend_names), table_size)
+
+    @staticmethod
+    def _populate(names: list[bytes], m: int) -> list[int]:
+        n = len(names)
+        offsets = [_hash64(name, b"maglev-offset") % m for name in names]
+        skips = [_hash64(name, b"maglev-skip") % (m - 1) + 1 for name in names]
+        next_index = [0] * n
+        table = [-1] * m
+        filled = 0
+        while True:
+            for i in range(n):
+                # Walk backend i's permutation to its next free slot.
+                while True:
+                    slot = (offsets[i] + next_index[i] * skips[i]) % m
+                    next_index[i] += 1
+                    if table[slot] < 0:
+                        table[slot] = i
+                        filled += 1
+                        break
+                if filled == m:
+                    return table
+
+    def lookup(self, key: bytes) -> int:
+        """Return the backend index serving ``key``."""
+        return self._table[_hash64(key, b"maglev-lookup") % self.table_size]
+
+    def load_distribution(self) -> list[int]:
+        """Slots per backend (for the load-uniformity property tests)."""
+        counts = [0] * self.backend_count
+        for backend in self._table:
+            counts[backend] += 1
+        return counts
+
+    def disruption(self, other: "MaglevTable") -> float:
+        """Fraction of slots that map differently in ``other`` (same size)."""
+        if other.table_size != self.table_size:
+            raise ValueError("cannot compare tables of different sizes")
+        diff = sum(1 for a, b in zip(self._table, other._table) if a != b)
+        return diff / self.table_size
+
+
+def flow_key(src_ip: int, src_port: int, dst_ip: int, dst_port: int) -> bytes:
+    """Serialize a 5-tuple (UDP implied) into a hash key."""
+    return b"%d|%d|%d|%d|udp" % (src_ip, src_port, dst_ip, dst_port)

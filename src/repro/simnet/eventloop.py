@@ -1,0 +1,84 @@
+"""Deterministic discrete-event loop with cancellable events."""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Callable, Optional
+
+
+class Event:
+    """Handle for a scheduled callback; cancellable until it fires."""
+
+    __slots__ = ("time", "seq", "callback", "cancelled")
+
+    def __init__(self, time: float, seq: int, callback: Callable[[], None]) -> None:
+        self.time = time
+        self.seq = seq
+        self.callback = callback
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        self.cancelled = True
+
+    def __lt__(self, other: "Event") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+
+class EventLoop:
+    """Min-heap scheduler; ties broken by insertion order (deterministic)."""
+
+    def __init__(self) -> None:
+        self._heap: list[Event] = []
+        self._seq = itertools.count()
+        self.now = 0.0
+        self.events_processed = 0
+
+    def schedule(self, delay: float, callback: Callable[[], None]) -> Event:
+        """Run ``callback`` ``delay`` seconds from the current time."""
+        if delay < 0:
+            raise ValueError("cannot schedule into the past (delay=%r)" % delay)
+        event = Event(self.now + delay, next(self._seq), callback)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def schedule_at(self, time: float, callback: Callable[[], None]) -> Event:
+        """Run ``callback`` at absolute simulated ``time``."""
+        return self.schedule(max(0.0, time - self.now), callback)
+
+    def peek_time(self) -> Optional[float]:
+        """Time of the next pending event, skipping cancelled ones."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        return self._heap[0].time if self._heap else None
+
+    def step(self) -> bool:
+        """Execute the next event; returns False if the queue is empty."""
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self.now = event.time
+            event.callback()
+            self.events_processed += 1
+            return True
+        return False
+
+    def run(self, max_events: int = 0) -> None:
+        """Drain the queue (optionally bounded by ``max_events``)."""
+        count = 0
+        while self.step():
+            count += 1
+            if max_events and count >= max_events:
+                raise RuntimeError(
+                    "event budget of %d exhausted; runaway simulation?" % max_events
+                )
+
+    def run_until(self, time: float) -> None:
+        """Process events with timestamps <= ``time``; advance now to it."""
+        while True:
+            next_time = self.peek_time()
+            if next_time is None or next_time > time:
+                break
+            self.step()
+        self.now = max(self.now, time)

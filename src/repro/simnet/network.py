@@ -1,0 +1,119 @@
+"""Packet routing between simulated devices.
+
+Every :class:`Device` announces one or more prefixes; the network delivers
+each :class:`UdpDatagram` to the device with the longest matching prefix
+for the destination address.  Path latency is the sum of both endpoints'
+access delays plus jitter; a global loss rate models drop on the open
+Internet.  Packets to unowned space are counted and dropped (like real
+traffic to dark space that no telescope covers).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.inetdata.radix import RadixTree
+from repro.netstack.addr import Prefix
+from repro.netstack.udp import UdpDatagram
+from repro.simnet.eventloop import EventLoop
+
+
+@dataclass
+class PathModel:
+    """Latency/loss parameters for the simulated Internet."""
+
+    base_delay: float = 0.002  # propagation floor between any two devices
+    jitter: float = 0.001  # uniform jitter added per packet
+    loss_rate: float = 0.0  # independent drop probability per packet
+
+    def one_way_delay(self, rng: random.Random, src_access: float, dst_access: float) -> float:
+        return self.base_delay + src_access + dst_access + rng.uniform(0.0, self.jitter)
+
+
+class Device:
+    """Base class for anything attached to the network."""
+
+    #: Access delay from this device to the network core, in seconds.
+    access_delay = 0.005
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.network: "Network | None" = None
+
+    # -- wiring --------------------------------------------------------------
+    def attach(self, network: "Network") -> None:
+        self.network = network
+
+    def prefixes(self) -> list[Prefix]:
+        """Prefixes this device answers for (empty: send-only device)."""
+        return []
+
+    # -- traffic ---------------------------------------------------------------
+    def handle_datagram(self, datagram: UdpDatagram, now: float) -> None:
+        """Called when a datagram addressed to this device arrives."""
+
+    def send(self, datagram: UdpDatagram) -> None:
+        if self.network is None:
+            raise RuntimeError("device %s is not attached to a network" % self.name)
+        self.network.transmit(self, datagram)
+
+
+@dataclass
+class NetworkStats:
+    delivered: int = 0
+    dropped_loss: int = 0
+    dropped_unrouted: int = 0
+
+
+class Network:
+    """The simulated Internet: routing table + latency + loss."""
+
+    def __init__(
+        self,
+        loop: EventLoop,
+        rng: random.Random,
+        path: PathModel | None = None,
+    ) -> None:
+        self.loop = loop
+        self.rng = rng
+        self.path = path or PathModel()
+        self.stats = NetworkStats()
+        self._routes: RadixTree[Device] = RadixTree()
+        self._devices: list[Device] = []
+
+    def add_device(self, device: Device) -> None:
+        device.attach(self)
+        self._devices.append(device)
+        for prefix in device.prefixes():
+            self._routes.insert(prefix, device)
+
+    def add_route(self, prefix: Prefix | str, device: Device) -> None:
+        """Announce an extra prefix for an already-attached device."""
+        if isinstance(prefix, str):
+            prefix = Prefix.parse(prefix)
+        self._routes.insert(prefix, device)
+
+    def route(self, address: int) -> Device | None:
+        return self._routes.lookup(address)
+
+    def transmit(self, sender: Device, datagram: UdpDatagram) -> None:
+        """Route ``datagram`` to the owner of its destination address."""
+        target = self._routes.lookup(datagram.dst_ip)
+        if target is None:
+            self.stats.dropped_unrouted += 1
+            return
+        if self.path.loss_rate and self.rng.random() < self.path.loss_rate:
+            self.stats.dropped_loss += 1
+            return
+        delay = self.path.one_way_delay(
+            self.rng, sender.access_delay, target.access_delay
+        )
+        self.stats.delivered += 1
+        self.loop.schedule(
+            delay, lambda: target.handle_datagram(datagram, self.loop.now)
+        )
+
+    @property
+    def devices(self) -> list[Device]:
+        return list(self._devices)

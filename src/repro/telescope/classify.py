@@ -1,0 +1,155 @@
+"""Classification and sanitization of raw telescope captures (paper §3.2).
+
+Pipeline, mirroring the paper:
+
+1. decode IPv4+UDP; everything else is non-QUIC noise;
+2. source port 443 → candidate *backscatter* (server responses to spoofed
+   traffic), destination port 443 → candidate *scan* (client requests);
+3. false-positive removal with the QUIC dissector (Wireshark-equivalent);
+4. removal of acknowledged research scanners (requests only — their
+   documented behaviour would bias version statistics).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.core.dissector import DissectError, dissect_datagram
+from repro.inetdata.asdb import AsDatabase
+from repro.netstack.pcap import PcapRecord
+from repro.netstack.udp import QUIC_PORT, UdpParseError, decode_udp
+from repro.quic.packet import ParsedLongHeader
+from repro.telescope.acknowledged import AcknowledgedScanners
+
+
+class PacketClass(enum.Enum):
+    BACKSCATTER = "backscatter"
+    SCAN = "scan"
+
+
+@dataclass
+class CapturedPacket:
+    """One sanitized QUIC datagram seen by the telescope."""
+
+    timestamp: float
+    src_ip: int
+    dst_ip: int
+    src_port: int
+    dst_port: int
+    udp_payload_length: int
+    packets: list[ParsedLongHeader]
+    klass: PacketClass
+    #: Paper-style origin label of the *remote* side: hypergiant name or
+    #: "Remaining" (the spoofed telescope side carries no information).
+    origin: str = "Remaining"
+
+    @property
+    def coalesced(self) -> bool:
+        return len(self.packets) > 1
+
+    @property
+    def remote_ip(self) -> int:
+        """The non-telescope endpoint (source for backscatter and scans)."""
+        return self.src_ip
+
+
+@dataclass
+class SanitizationStats:
+    total_records: int = 0
+    non_udp: int = 0
+    non_port_443: int = 0
+    failed_dissection: int = 0
+    acknowledged_scanner: int = 0
+    backscatter: int = 0
+    scans: int = 0
+
+    @property
+    def removed(self) -> int:
+        return (
+            self.non_udp
+            + self.non_port_443
+            + self.failed_dissection
+            + self.acknowledged_scanner
+        )
+
+    @property
+    def removed_share(self) -> float:
+        return self.removed / self.total_records if self.total_records else 0.0
+
+
+@dataclass
+class ClassifiedCapture:
+    """Output of the sanitization pipeline."""
+
+    backscatter: list[CapturedPacket] = field(default_factory=list)
+    scans: list[CapturedPacket] = field(default_factory=list)
+    stats: SanitizationStats = field(default_factory=SanitizationStats)
+
+    def __len__(self) -> int:
+        return len(self.backscatter) + len(self.scans)
+
+
+def classify_capture(
+    records: list[PcapRecord],
+    asdb: AsDatabase | None = None,
+    acknowledged: AcknowledgedScanners | None = None,
+    validate_crypto_scans: bool = True,
+) -> ClassifiedCapture:
+    """Run the full sanitization pipeline over raw capture records.
+
+    ``validate_crypto_scans`` additionally AEAD-validates client Initials in
+    scan traffic (possible passively because Initial keys derive from the
+    DCID); backscatter is validated structurally, as in Wireshark.
+    """
+    out = ClassifiedCapture()
+    stats = out.stats
+    for record in records:
+        stats.total_records += 1
+        try:
+            datagram = decode_udp(record.data)
+        except (UdpParseError, ValueError):
+            stats.non_udp += 1
+            continue
+        if datagram.src_port == QUIC_PORT:
+            klass = PacketClass.BACKSCATTER
+        elif datagram.dst_port == QUIC_PORT:
+            klass = PacketClass.SCAN
+        else:
+            stats.non_port_443 += 1
+            continue
+        try:
+            dissected = dissect_datagram(
+                datagram.payload,
+                validate_crypto=(
+                    validate_crypto_scans and klass is PacketClass.SCAN
+                ),
+            )
+        except DissectError:
+            stats.failed_dissection += 1
+            continue
+        if (
+            klass is PacketClass.SCAN
+            and acknowledged is not None
+            and acknowledged.is_acknowledged(datagram.src_ip)
+        ):
+            stats.acknowledged_scanner += 1
+            continue
+        captured = CapturedPacket(
+            timestamp=record.timestamp,
+            src_ip=datagram.src_ip,
+            dst_ip=datagram.dst_ip,
+            src_port=datagram.src_port,
+            dst_port=datagram.dst_port,
+            udp_payload_length=len(datagram.payload),
+            packets=dissected.packets,
+            klass=klass,
+            origin=asdb.origin_name(datagram.src_ip) if asdb else "Remaining",
+        )
+        if klass is PacketClass.BACKSCATTER:
+            out.backscatter.append(captured)
+            stats.backscatter += 1
+        else:
+            out.scans.append(captured)
+            stats.scans += 1
+    return out

@@ -1,0 +1,48 @@
+"""The darknet capture device.
+
+A telescope owns an unused prefix (CAIDA's is a /9) and records every
+packet routed to it — scans addressed directly at dark space, and
+backscatter: server replies to attack traffic whose spoofed sources fell
+inside the prefix.  Captures serialize to standard pcap for external
+tooling and deserialize back for the analysis pipeline.
+"""
+
+from __future__ import annotations
+
+from typing import BinaryIO, Iterable
+
+from repro.netstack.addr import Prefix
+from repro.netstack.pcap import PcapReader, PcapRecord, PcapWriter
+from repro.netstack.udp import UdpDatagram, encode_udp
+from repro.simnet.network import Device
+
+#: The UCSD network telescope operates a /9; scenarios default to it.
+DEFAULT_PREFIX = "44.0.0.0/9"
+
+
+class Telescope(Device):
+    """Records all traffic to its prefix; never responds to anything."""
+
+    def __init__(self, name: str = "telescope", prefix: Prefix | str = DEFAULT_PREFIX) -> None:
+        super().__init__(name)
+        if isinstance(prefix, str):
+            prefix = Prefix.parse(prefix)
+        self.prefix = prefix
+        self.records: list[PcapRecord] = []
+
+    def prefixes(self) -> list[Prefix]:
+        return [self.prefix]
+
+    def handle_datagram(self, datagram: UdpDatagram, now: float) -> None:
+        self.records.append(PcapRecord(timestamp=now, data=encode_udp(datagram)))
+
+    # -- persistence -----------------------------------------------------------
+    def write_pcap(self, fileobj: BinaryIO) -> None:
+        PcapWriter(fileobj).write_all(self.records)
+
+    @classmethod
+    def load_records(cls, fileobj: BinaryIO) -> list[PcapRecord]:
+        return list(PcapReader(fileobj))
+
+    def __len__(self) -> int:
+        return len(self.records)

@@ -1,0 +1,95 @@
+"""Synthetic X.509-like certificates.
+
+Real certificates are DER-encoded ASN.1; the off-net verification step of
+the paper only reads the subjectAltName list, so we model a certificate as
+a small TLV structure carrying subject, issuer, and SANs.  The substitution
+is recorded in DESIGN.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.buffer import BufferError_, Reader, Writer
+
+_FIELD_SUBJECT = 1
+_FIELD_ISSUER = 2
+_FIELD_SAN = 3
+
+
+class CertificateError(ValueError):
+    """Raised when certificate bytes cannot be parsed."""
+
+
+@dataclass(frozen=True)
+class Certificate:
+    """A leaf certificate with the fields the pipeline inspects."""
+
+    subject: str
+    issuer: str = "Synthetic Root CA"
+    subject_alt_names: tuple[str, ...] = ()
+
+    def covers(self, domain: str) -> bool:
+        """True if ``domain`` matches the subject or any SAN (incl. wildcards)."""
+        names = (self.subject,) + self.subject_alt_names
+        for name in names:
+            if name == domain:
+                return True
+            if name.startswith("*.") and domain.endswith(name[1:]):
+                return True
+        return False
+
+    def matches_any_suffix(self, suffixes: tuple[str, ...]) -> bool:
+        """Paper Appendix C: does any SAN end with one of ``suffixes``?
+
+        (e.g. ``("facebook.com", "fbcdn.net", ...)``).
+        """
+        names = (self.subject,) + self.subject_alt_names
+        for name in names:
+            bare = name[2:] if name.startswith("*.") else name
+            for suffix in suffixes:
+                if bare == suffix or bare.endswith("." + suffix):
+                    return True
+        return False
+
+    def encode(self) -> bytes:
+        writer = Writer()
+        for field_id, value in [
+            (_FIELD_SUBJECT, self.subject),
+            (_FIELD_ISSUER, self.issuer),
+        ]:
+            raw = value.encode("utf-8")
+            writer.write_u8(field_id)
+            writer.write_u16(len(raw))
+            writer.write(raw)
+        for san in self.subject_alt_names:
+            raw = san.encode("utf-8")
+            writer.write_u8(_FIELD_SAN)
+            writer.write_u16(len(raw))
+            writer.write(raw)
+        return writer.getvalue()
+
+    @classmethod
+    def decode(cls, data: bytes) -> "Certificate":
+        reader = Reader(data)
+        subject = ""
+        issuer = ""
+        sans: list[str] = []
+        try:
+            while not reader.at_end():
+                field_id = reader.read_u8()
+                length = reader.read_u16()
+                value = reader.read(length).decode("utf-8")
+                if field_id == _FIELD_SUBJECT:
+                    subject = value
+                elif field_id == _FIELD_ISSUER:
+                    issuer = value
+                elif field_id == _FIELD_SAN:
+                    sans.append(value)
+                else:
+                    raise CertificateError("unknown field %d" % field_id)
+        except (BufferError_, UnicodeDecodeError) as exc:
+            raise CertificateError(str(exc)) from exc
+        if not subject:
+            raise CertificateError("certificate missing subject")
+        return cls(subject=subject, issuer=issuer, subject_alt_names=tuple(sans))

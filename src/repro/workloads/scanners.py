@@ -1,0 +1,211 @@
+"""Scanners and noise: the request side of telescope traffic.
+
+Three populations, per the paper:
+
+* :class:`ResearchScanner` — acknowledged projects sweeping the whole
+  telescope, typically with reserved (greasing) versions to force version
+  negotiation.  Removed during sanitization; they dominate the raw capture.
+* :class:`UnknownScanner` — undocumented/malicious scanners (bots).  These
+  survive sanitization and define the paper's client-side version mix.
+* :class:`NoiseSource` — non-QUIC UDP/443 traffic (both directions), the
+  false positives the dissector removes.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.netstack.addr import Prefix
+from repro.netstack.udp import QUIC_PORT, UdpDatagram
+from repro.quic.packet import (
+    LongHeaderPacket,
+    PacketType,
+    encode_datagram,
+)
+from repro.quic.crypto.suites import suite_by_name
+from repro.quic.frames import CryptoFrame, encode_frames
+from repro.quic.version import QUIC_V1
+from repro.simnet.eventloop import EventLoop
+from repro.simnet.network import Device
+from repro.workloads.clients import ClientConnection
+
+
+class ResearchScanner(Device):
+    """An acknowledged scanner sweeping dark space with greased versions."""
+
+    GREASE_VERSION = 0x1A2A3A4A  # matches RFC 9000's 0x?a?a?a?a pattern
+
+    def __init__(
+        self,
+        name: str,
+        address: int,
+        loop: EventLoop,
+        rng: random.Random,
+        target_prefix: Prefix,
+        suite: str = "fast",
+    ) -> None:
+        super().__init__(name)
+        self.address = address
+        self.loop = loop
+        self.rng = rng
+        self.target_prefix = target_prefix
+        self.suite = suite
+        self.packets_sent = 0
+
+    def prefixes(self) -> list[Prefix]:
+        return [Prefix(self.address, 32)]
+
+    def sweep(self, packet_count: int, start_time: float = 0.0, duration: float = 600.0) -> None:
+        """Probe ``packet_count`` random telescope addresses."""
+        step = duration / max(packet_count, 1)
+        for i in range(packet_count):
+            self.loop.schedule_at(start_time + i * step, self._probe)
+
+    def _probe(self) -> None:
+        # Stateless enumeration probes: unpadded Initials with a greased
+        # version — small, cheap, and designed to trigger VN on real servers.
+        connection = ClientConnection(
+            rng=self.rng,
+            src_ip=self.address,
+            src_port=self.rng.randint(30000, 60000),
+            dst_ip=self.target_prefix.random_host(self.rng),
+            version=self.GREASE_VERSION,
+            suite=self.suite,
+            pad_to=0,
+        )
+        self.send(connection.initial_datagram(self.loop.now))
+        self.packets_sent += 1
+
+
+class UnknownScanner(Device):
+    """An undocumented scanner/bot probing dark space with real versions."""
+
+    def __init__(
+        self,
+        name: str,
+        address: int,
+        loop: EventLoop,
+        rng: random.Random,
+        target_prefix: Prefix,
+        versions: tuple[tuple[int, float], ...] = ((QUIC_V1.value, 1.0),),
+        zero_rtt_probability: float = 0.0,
+        pad_probability: float = 0.6,
+        suite: str = "fast",
+    ) -> None:
+        super().__init__(name)
+        self.address = address
+        self.loop = loop
+        self.rng = rng
+        self.target_prefix = target_prefix
+        self.versions = versions
+        self.zero_rtt_probability = zero_rtt_probability
+        self.pad_probability = pad_probability
+        self.suite = suite
+        self.packets_sent = 0
+
+    def prefixes(self) -> list[Prefix]:
+        return [Prefix(self.address, 32)]
+
+    def sweep(self, packet_count: int, start_time: float = 0.0, duration: float = 600.0) -> None:
+        step = duration / max(packet_count, 1)
+        for i in range(packet_count):
+            self.loop.schedule_at(start_time + i * step, self._probe)
+
+    def _pick_version(self) -> int:
+        versions = [v for v, _w in self.versions]
+        weights = [w for _v, w in self.versions]
+        return self.rng.choices(versions, weights=weights)[0]
+
+    def _probe(self) -> None:
+        target = self.target_prefix.random_host(self.rng)
+        if self.rng.random() < self.zero_rtt_probability:
+            self.send(self._zero_rtt_packet(target))
+        else:
+            pad = 1200 if self.rng.random() < self.pad_probability else 0
+            connection = ClientConnection(
+                rng=self.rng,
+                src_ip=self.address,
+                src_port=self.rng.randint(1024, 65535),
+                dst_ip=target,
+                version=self._pick_version(),
+                suite=self.suite,
+                pad_to=pad,
+            )
+            self.send(connection.initial_datagram(self.loop.now))
+        self.packets_sent += 1
+
+    def _zero_rtt_packet(self, target: int) -> UdpDatagram:
+        """A 0-RTT packet replayed at dark space (session-resumption abuse)."""
+        dcid = self.rng.getrandbits(64).to_bytes(8, "big")
+        protection = suite_by_name(self.suite)(QUIC_V1.value, dcid)
+        packet = LongHeaderPacket(
+            packet_type=PacketType.ZERO_RTT,
+            version=QUIC_V1.value,
+            dcid=dcid,
+            scid=self.rng.getrandbits(64).to_bytes(8, "big"),
+            packet_number=0,
+            payload=encode_frames(
+                [CryptoFrame(offset=0, data=b"early-data" * 10)]
+            ),
+            pn_length=1,
+        )
+        data = encode_datagram([packet], protection, is_server=False, pad_to=0)
+        return UdpDatagram(
+            src_ip=self.address,
+            dst_ip=target,
+            src_port=self.rng.randint(1024, 65535),
+            dst_port=QUIC_PORT,
+            payload=data,
+        )
+
+
+class NoiseSource(Device):
+    """Non-QUIC UDP/443 traffic: the dissector's false-positive input."""
+
+    def __init__(
+        self,
+        name: str,
+        address: int,
+        loop: EventLoop,
+        rng: random.Random,
+        target_prefix: Prefix,
+    ) -> None:
+        super().__init__(name)
+        self.address = address
+        self.loop = loop
+        self.rng = rng
+        self.target_prefix = target_prefix
+        self.packets_sent = 0
+
+    def prefixes(self) -> list[Prefix]:
+        return [Prefix(self.address, 32)]
+
+    def emit(self, packet_count: int, start_time: float = 0.0, duration: float = 600.0) -> None:
+        step = duration / max(packet_count, 1)
+        for i in range(packet_count):
+            self.loop.schedule_at(start_time + i * step, self._one)
+
+    def _one(self) -> None:
+        target = self.target_prefix.random_host(self.rng)
+        kind = self.rng.random()
+        if kind < 0.4:
+            # DTLS-flavoured: first byte 22 (handshake), never a QUIC form bit.
+            payload = bytes([22, 254, 253]) + self.rng.randbytes(40)
+        elif kind < 0.7:
+            # Random garbage with the long-header bit set but a junk version.
+            payload = bytes([0xC3]) + self.rng.randbytes(30)
+        else:
+            # Small unparseable blobs (misdirected media / probes).
+            payload = self.rng.randbytes(self.rng.randint(1, 24))
+        backscatter_like = self.rng.random() < 0.5
+        self.send(
+            UdpDatagram(
+                src_ip=self.address,
+                dst_ip=target,
+                src_port=QUIC_PORT if backscatter_like else self.rng.randint(1024, 65000),
+                dst_port=self.rng.randint(1024, 65000) if backscatter_like else QUIC_PORT,
+                payload=payload,
+            )
+        )
+        self.packets_sent += 1

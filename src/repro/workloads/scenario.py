@@ -1,0 +1,709 @@
+"""Scenario builders: assemble deployments, traffic, and the telescope.
+
+``build_scenario`` constructs a full "measurement month" — hypergiant
+on-net clusters, off-net caches, assorted other QUIC servers, spoofing
+attackers, scanners, and noise — and runs it against a /9 telescope.
+Defaults model January 2022 at roughly 1/20 of the paper's traffic volume
+(DESIGN.md §5); ``ScenarioConfig.year=2021`` re-parameterizes versions and
+volumes to model April 2021.
+
+Smaller, purpose-built labs for the active-measurement experiments
+(Figures 6, §4.3) are provided by :func:`build_facebook_lab` and
+:func:`build_lb_lab`.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field, replace
+
+from repro.inetdata.asdb import AsDatabase, AsEntry
+from repro.inetdata.certs import CertificateStore
+from repro.inetdata.geodb import GeoDatabase
+from repro.inetdata.hypergiants import CLOUDFLARE, FACEBOOK, GOOGLE
+from repro.netstack.addr import Prefix, parse_ip
+from repro.quic.version import (
+    DRAFT_28,
+    DRAFT_29,
+    GQUIC_Q050,
+    MVFST_1,
+    MVFST_2,
+    MVFST_EXP,
+    QUIC_V1,
+)
+from repro.server.lb.cluster import FrontendCluster
+from repro.server.profiles import (
+    ServerProfile,
+    cloudflare_profile,
+    facebook_profile,
+    generic_profile,
+    google_profile,
+)
+from repro.server.simple import SimpleQuicServer
+from repro.simnet.eventloop import EventLoop
+from repro.simnet.network import Network, PathModel
+from repro.telescope.acknowledged import AcknowledgedScanners
+from repro.telescope.classify import ClassifiedCapture, classify_capture
+from repro.telescope.darknet import Telescope
+from repro.tls.certs import Certificate
+from repro.workloads.attackers import AttackPlan, SpoofingAttacker
+from repro.workloads.scanners import NoiseSource, ResearchScanner, UnknownScanner
+
+#: Eyeball/ISP networks hosting off-net caches, bots, and other servers.
+ISP_NETWORKS: tuple[tuple[int, str, str], ...] = (
+    (7018, "ISP-US-East", "24.48.0.0/16"),
+    (209, "ISP-US-West", "65.100.0.0/16"),
+    (3320, "ISP-DE", "87.128.0.0/16"),
+    (3215, "ISP-FR", "90.0.0.0/16"),
+    (2856, "ISP-GB", "81.128.0.0/16"),
+    (9121, "ISP-TR", "85.96.0.0/16"),
+    (4766, "ISP-KR", "112.160.0.0/16"),
+    (9829, "ISP-IN", "117.192.0.0/16"),
+    (4134, "ISP-CN", "58.32.0.0/16"),
+    (7738, "ISP-BR", "189.32.0.0/16"),
+    (36992, "ISP-EG", "41.32.0.0/16"),
+    (1221, "ISP-AU", "139.130.0.0/16"),
+)
+
+#: Research scanner source networks (stand-in for the acknowledged list).
+RESEARCH_NETWORKS: tuple[tuple[str, str], ...] = (
+    ("141.212.0.0/16", "scanner-umich"),
+    ("198.108.66.0/24", "scanner-censys"),
+    ("74.120.14.0/24", "scanner-shadowserver"),
+)
+
+_COUNTRY_CYCLE = ("US", "DE", "IN", "GB", "SG", "CA", "JP", "FR", "BR", "KR")
+
+
+@dataclass
+class ScenarioConfig:
+    """Knobs for a telescope measurement month."""
+
+    seed: int = 20220101
+    year: int = 2022
+    telescope_prefix: str = "44.0.0.0/9"
+    suite: str = "fast"
+    window: float = 900.0  # seconds of simulated capture
+    # --- deployment sizes -------------------------------------------------
+    facebook_clusters: int = 6
+    facebook_vips_per_cluster: int = 22
+    facebook_hosts_per_cluster: int = 24
+    google_clusters: int = 6
+    google_vips_per_cluster: int = 48
+    google_hosts_per_cluster: int = 20
+    cloudflare_clusters: int = 3
+    cloudflare_vips_per_cluster: int = 12
+    cloudflare_hosts_per_cluster: int = 12
+    facebook_offnets: int = 24
+    cloudflare_offnets: int = 3
+    remaining_servers: int = 110
+    # --- attack volumes (spoofed connections) ------------------------------
+    attacks_facebook: int = 1600
+    attacks_google: int = 2800
+    attacks_cloudflare: int = 120
+    attacks_offnet: int = 700
+    attacks_remaining: int = 700
+    telescope_bias: float = 0.55
+    bogus_version_probability: float = 0.0008
+    # --- scan/noise volumes -------------------------------------------------
+    research_scan_packets: int = 30000
+    unknown_scan_packets: int = 6000
+    zero_rtt_scan_packets: int = 60
+    noise_packets: int = 2500
+
+    def scaled(self, factor: float) -> "ScenarioConfig":
+        """Uniformly scale all traffic volumes (deployments unchanged)."""
+        return replace(
+            self,
+            attacks_facebook=int(self.attacks_facebook * factor),
+            attacks_google=int(self.attacks_google * factor),
+            attacks_cloudflare=max(1, int(self.attacks_cloudflare * factor)),
+            attacks_offnet=int(self.attacks_offnet * factor),
+            attacks_remaining=int(self.attacks_remaining * factor),
+            research_scan_packets=int(self.research_scan_packets * factor),
+            unknown_scan_packets=int(self.unknown_scan_packets * factor),
+            zero_rtt_scan_packets=int(self.zero_rtt_scan_packets * factor),
+            noise_packets=int(self.noise_packets * factor),
+        )
+
+
+def april_2021_config(seed: int = 20210401) -> ScenarioConfig:
+    """The comparison month: pre-v1 versions, 1/4.4 backscatter, 1/8 scans."""
+    cfg = ScenarioConfig(seed=seed, year=2021)
+    cfg = cfg.scaled(1 / 4.4)
+    return replace(
+        cfg,
+        unknown_scan_packets=int(6000 / 8.1),
+        zero_rtt_scan_packets=6,
+    )
+
+
+@dataclass
+class Scenario:
+    """A fully wired simulation, ready to run."""
+
+    config: ScenarioConfig
+    loop: EventLoop
+    network: Network
+    rng: random.Random
+    telescope: Telescope
+    asdb: AsDatabase
+    geodb: GeoDatabase
+    certstore: CertificateStore
+    acknowledged: AcknowledgedScanners
+    clusters: dict[str, list[FrontendCluster]] = field(default_factory=dict)
+    offnet_servers: list[SimpleQuicServer] = field(default_factory=list)
+    remaining_servers: list[SimpleQuicServer] = field(default_factory=list)
+    attacker: SpoofingAttacker | None = None
+
+    def run(self) -> None:
+        """Run the event loop to completion (all traffic + retransmissions)."""
+        self.loop.run()
+
+    def classify(self, validate_crypto_scans: bool = True) -> ClassifiedCapture:
+        return classify_capture(
+            self.telescope.records,
+            asdb=self.asdb,
+            acknowledged=self.acknowledged,
+            validate_crypto_scans=validate_crypto_scans,
+        )
+
+    def vips(self, hypergiant: str) -> list[int]:
+        """On-net VIP census for one hypergiant (the active-scan view)."""
+        return [
+            vip for cluster in self.clusters.get(hypergiant, []) for vip in cluster.vips
+        ]
+
+    def all_onnet_host_ids(self, hypergiant: str) -> set[int]:
+        return {
+            host_id
+            for cluster in self.clusters.get(hypergiant, [])
+            for host_id in cluster.host_ids
+        }
+
+
+# ---------------------------------------------------------------------------
+# Version mixes
+# ---------------------------------------------------------------------------
+
+
+def _attack_versions(year: int, target: str) -> tuple[tuple[int, float], ...]:
+    """Version distribution attack tools use against each provider.
+
+    Attack tools reuse client libraries matched to their victim: mvfst
+    versions against Facebook, a gQUIC share against Google (the source of
+    the paper's server-side "others" bucket), plain v1/draft elsewhere.
+    """
+    if year >= 2022:
+        if target == "Facebook":
+            return (
+                (MVFST_2.value, 0.85),
+                (QUIC_V1.value, 0.12),
+                (MVFST_1.value, 0.02),
+                (MVFST_EXP.value, 0.01),
+            )
+        if target == "Google":
+            return (
+                (QUIC_V1.value, 0.80),
+                (DRAFT_29.value, 0.02),
+                (GQUIC_Q050.value, 0.18),
+            )
+        return ((QUIC_V1.value, 0.95), (DRAFT_29.value, 0.05))
+    # 2021: pre-v1 world.
+    if target == "Facebook":
+        return ((MVFST_2.value, 0.75), (MVFST_1.value, 0.15), (DRAFT_29.value, 0.10))
+    if target == "Google":
+        return (
+            (DRAFT_29.value, 0.62),
+            (DRAFT_28.value, 0.10),
+            (GQUIC_Q050.value, 0.28),
+        )
+    return ((DRAFT_29.value, 0.85), (DRAFT_28.value, 0.15))
+
+
+def _scanner_versions(year: int) -> tuple[tuple[int, float], ...]:
+    if year >= 2022:
+        return (
+            (QUIC_V1.value, 0.778),
+            (MVFST_2.value, 0.212),
+            (DRAFT_29.value, 0.006),
+            (MVFST_1.value, 0.004),
+        )
+    return (
+        (DRAFT_29.value, 0.595),
+        (MVFST_2.value, 0.340),
+        (DRAFT_28.value, 0.060),
+        (QUIC_V1.value, 0.005),
+    )
+
+
+def _year_versions(profile: ServerProfile, year: int) -> ServerProfile:
+    """Adjust a profile's supported versions for the scenario year."""
+    if year >= 2022:
+        return profile
+    if profile.name == "Facebook":
+        versions = (MVFST_2.value, MVFST_1.value, DRAFT_29.value)
+    elif profile.name == "Google":
+        versions = (DRAFT_29.value, DRAFT_28.value, GQUIC_Q050.value)
+    else:
+        versions = (DRAFT_29.value, DRAFT_28.value)
+    return replace(profile, supported_versions=versions)
+
+
+# ---------------------------------------------------------------------------
+# Main builder
+# ---------------------------------------------------------------------------
+
+
+def build_scenario(config: ScenarioConfig | None = None) -> Scenario:
+    """Wire up a full telescope measurement month."""
+    config = config or ScenarioConfig()
+    rng = random.Random(config.seed)
+    loop = EventLoop()
+    network = Network(loop, random.Random(config.seed ^ 0xBEEF), PathModel())
+    telescope = Telescope(prefix=config.telescope_prefix)
+    network.add_device(telescope)
+
+    asdb = AsDatabase.with_hypergiants()
+    geodb = GeoDatabase()
+    certstore = CertificateStore()
+    acknowledged = AcknowledgedScanners()
+    asdb.register(
+        telescope.prefix, AsEntry(asn=7377, name="Telescope", category="telescope")
+    )
+    isp_prefixes: list[Prefix] = []
+    for asn, name, prefix_text in ISP_NETWORKS:
+        prefix = Prefix.parse(prefix_text)
+        isp_prefixes.append(prefix)
+        asdb.register(prefix, AsEntry(asn=asn, name=name, category="isp"))
+    for prefix_text, name in RESEARCH_NETWORKS:
+        acknowledged.register(prefix_text, name)
+        asdb.register(
+            prefix_text, AsEntry(asn=394000, name=name, category="research")
+        )
+
+    scenario = Scenario(
+        config=config,
+        loop=loop,
+        network=network,
+        rng=rng,
+        telescope=telescope,
+        asdb=asdb,
+        geodb=geodb,
+        certstore=certstore,
+        acknowledged=acknowledged,
+    )
+    _build_onnet(scenario)
+    _build_offnet(scenario, isp_prefixes)
+    _build_remaining(scenario, isp_prefixes)
+    _build_traffic(scenario, isp_prefixes)
+    return scenario
+
+
+def _cluster_cert(hypergiant) -> Certificate:
+    suffix = hypergiant.cert_suffixes[0]
+    return Certificate(
+        subject="*.%s" % suffix,
+        subject_alt_names=tuple("*.%s" % s for s in hypergiant.cert_suffixes),
+    )
+
+
+def _build_onnet(scenario: Scenario) -> None:
+    cfg = scenario.config
+    specs = (
+        (
+            FACEBOOK,
+            "157.240.%d.0/24",
+            cfg.facebook_clusters,
+            cfg.facebook_vips_per_cluster,
+            cfg.facebook_hosts_per_cluster,
+            facebook_profile(),
+        ),
+        (
+            GOOGLE,
+            "142.250.%d.0/24",
+            cfg.google_clusters,
+            cfg.google_vips_per_cluster,
+            cfg.google_hosts_per_cluster,
+            google_profile(),
+        ),
+        (
+            CLOUDFLARE,
+            "104.16.%d.0/24",
+            cfg.cloudflare_clusters,
+            cfg.cloudflare_vips_per_cluster,
+            cfg.cloudflare_hosts_per_cluster,
+            cloudflare_profile(),
+        ),
+    )
+    for hypergiant, template, count, vips, hosts, profile in specs:
+        profile = replace(
+            _year_versions(profile, cfg.year), protection_suite=cfg.suite
+        )
+        cert = _cluster_cert(hypergiant)
+        clusters = []
+        # Host IDs are unique per cluster; keep cluster ranges disjoint so
+        # the Jaccard analysis sees "all host IDs shared or none".
+        next_host_id = 2000
+        for i in range(count):
+            country = _COUNTRY_CYCLE[i % len(_COUNTRY_CYCLE)]
+            prefix = template % i
+            cluster_profile = profile
+            if hypergiant is CLOUDFLARE:
+                # Each colo encodes its own ID into the 20-byte SCIDs.
+                from repro.quic.cid.cloudflare import CloudflareScheme
+
+                cluster_profile = replace(
+                    profile, cid_scheme=CloudflareScheme(colo_id=i + 1)
+                )
+            cluster = FrontendCluster(
+                name="%s-pop-%d" % (hypergiant.name.lower(), i),
+                prefix=prefix,
+                profile=cluster_profile,
+                loop=scenario.loop,
+                rng=scenario.rng,
+                vip_count=vips,
+                l7_host_count=hosts,
+                host_id_base=next_host_id,
+                certificate=cert,
+                country=country,
+            )
+            next_host_id += hosts + scenario.rng.randrange(1, 50)
+            scenario.network.add_device(cluster)
+            scenario.geodb.register(prefix, country)
+            for vip in cluster.vips:
+                scenario.certstore.register(
+                    vip, cert, ptr="edge-%d.%s" % (vip & 0xFF, hypergiant.cert_suffixes[0])
+                )
+            clusters.append(cluster)
+        scenario.clusters[hypergiant.name] = clusters
+
+
+def _build_offnet(scenario: Scenario, isp_prefixes: list[Prefix]) -> None:
+    cfg = scenario.config
+    rng = scenario.rng
+    # Facebook off-net caches: mvfst stack, low host IDs (reused across
+    # sites — the paper's improved classifier exploits exactly this).
+    fb_profile = replace(
+        _year_versions(facebook_profile(), cfg.year), protection_suite=cfg.suite
+    )
+    fb_cert = Certificate(
+        subject="*.fbcdn.net", subject_alt_names=("*.fbcdn.net", "*.facebook.com")
+    )
+    for i in range(cfg.facebook_offnets):
+        prefix = isp_prefixes[i % len(isp_prefixes)]
+        address = prefix.host(1000 + 7 * i)
+        server = SimpleQuicServer(
+            name="fb-offnet-%d" % i,
+            address=address,
+            profile=fb_profile,
+            loop=scenario.loop,
+            rng=rng,
+            host_id=1 + (i % 24),  # low, reused host IDs
+            certificate=fb_cert,
+        )
+        scenario.network.add_device(server)
+        scenario.certstore.register(address, fb_cert, ptr="cache-%d.fbcdn.net" % i)
+        scenario.offnet_servers.append(server)
+    # Cloudflare off-nets (the paper found 3 candidates, unverifiable).
+    cf_profile = replace(
+        _year_versions(cloudflare_profile(), cfg.year), protection_suite=cfg.suite
+    )
+    for i in range(cfg.cloudflare_offnets):
+        prefix = isp_prefixes[(i + 5) % len(isp_prefixes)]
+        address = prefix.host(2000 + 11 * i)
+        server = SimpleQuicServer(
+            name="cf-offnet-%d" % i,
+            address=address,
+            profile=cf_profile,
+            loop=scenario.loop,
+            rng=rng,
+            host_id=i,
+        )
+        # No certificate registered: like the paper's Cloudflare candidates,
+        # these do not admit verification.
+        scenario.network.add_device(server)
+        scenario.offnet_servers.append(server)
+
+
+def _build_remaining(scenario: Scenario, isp_prefixes: list[Prefix]) -> None:
+    cfg = scenario.config
+    rng = scenario.rng
+    for i in range(cfg.remaining_servers):
+        prefix = isp_prefixes[i % len(isp_prefixes)]
+        address = prefix.host(4000 + 13 * i + rng.randrange(5))
+        profile = replace(
+            _year_versions(generic_profile("other-%d" % i, rng), cfg.year),
+            protection_suite=cfg.suite,
+        )
+        has_cert = rng.random() < 0.8
+        cert = (
+            Certificate(
+                subject="srv%d.example-%d.net" % (i, i % 37),
+                subject_alt_names=("srv%d.example-%d.net" % (i, i % 37),),
+            )
+            if has_cert
+            else None
+        )
+        server = SimpleQuicServer(
+            name="other-%d" % i,
+            address=address,
+            profile=profile,
+            loop=scenario.loop,
+            rng=rng,
+            host_id=rng.randrange(1 << 16),
+            certificate=cert,
+        )
+        scenario.network.add_device(server)
+        if cert is not None:
+            scenario.certstore.register(address, cert)
+        scenario.remaining_servers.append(server)
+
+
+def _build_traffic(scenario: Scenario, isp_prefixes: list[Prefix]) -> None:
+    cfg = scenario.config
+    loop = scenario.loop
+    attacker = SpoofingAttacker(
+        name="botnet",
+        loop=loop,
+        rng=random.Random(cfg.seed ^ 0xA77AC),
+        telescope_prefix=scenario.telescope.prefix,
+        spoof_pool=isp_prefixes,
+        telescope_bias=cfg.telescope_bias,
+        suite=cfg.suite,
+    )
+    scenario.network.add_device(attacker)
+    scenario.attacker = attacker
+
+    window = cfg.window
+
+    def flood(targets, count, versions, bogus=0.0):
+        if not targets or count <= 0:
+            return
+        attacker.launch(
+            AttackPlan(
+                targets=tuple(targets),
+                packet_count=count,
+                start_time=0.0,
+                duration=window,
+                versions=versions,
+                bogus_version_probability=bogus,
+            )
+        )
+
+    flood(
+        scenario.vips("Facebook"),
+        cfg.attacks_facebook,
+        _attack_versions(cfg.year, "Facebook"),
+    )
+    flood(
+        scenario.vips("Google"),
+        cfg.attacks_google,
+        _attack_versions(cfg.year, "Google"),
+        bogus=cfg.bogus_version_probability,
+    )
+    flood(
+        scenario.vips("Cloudflare"),
+        cfg.attacks_cloudflare,
+        _attack_versions(cfg.year, "Cloudflare"),
+    )
+    offnet_targets = [s.address for s in scenario.offnet_servers]
+    fb_offnet_targets = [
+        s.address for s in scenario.offnet_servers if s.profile.name == "Facebook"
+    ]
+    flood(
+        fb_offnet_targets or offnet_targets,
+        cfg.attacks_offnet,
+        _attack_versions(cfg.year, "Facebook"),
+    )
+    flood(
+        [s.address for s in scenario.remaining_servers],
+        cfg.attacks_remaining,
+        _attack_versions(cfg.year, "Remaining"),
+    )
+
+    # Scanners --------------------------------------------------------------
+    research_rng = random.Random(cfg.seed ^ 0x5CA41)
+    per_scanner = max(1, cfg.research_scan_packets // len(RESEARCH_NETWORKS))
+    for prefix_text, name in RESEARCH_NETWORKS:
+        scanner = ResearchScanner(
+            name=name,
+            address=Prefix.parse(prefix_text).host(7),
+            loop=loop,
+            rng=research_rng,
+            target_prefix=scenario.telescope.prefix,
+            suite=cfg.suite,
+        )
+        scenario.network.add_device(scanner)
+        scanner.sweep(per_scanner, start_time=0.0, duration=window)
+
+    bot_rng = random.Random(cfg.seed ^ 0xB07)
+    bot_homes = [prefix.host(9000 + i) for i, prefix in enumerate(isp_prefixes[:6])]
+    per_bot = max(1, cfg.unknown_scan_packets // max(len(bot_homes), 1))
+    for i, home in enumerate(bot_homes):
+        bot = UnknownScanner(
+            name="bot-%d" % i,
+            address=home,
+            loop=loop,
+            rng=bot_rng,
+            target_prefix=scenario.telescope.prefix,
+            versions=_scanner_versions(cfg.year),
+            suite=cfg.suite,
+        )
+        scenario.network.add_device(bot)
+        bot.sweep(per_bot, start_time=0.0, duration=window)
+
+    if cfg.zero_rtt_scan_packets:
+        # A bot inside Google's cloud replaying 0-RTT at dark space — the
+        # source of Table 3's 0-RTT share "from" the Google network.
+        gcp_bot = UnknownScanner(
+            name="bot-gcp",
+            address=parse_ip("142.250.199.77"),
+            loop=loop,
+            rng=bot_rng,
+            target_prefix=scenario.telescope.prefix,
+            versions=_scanner_versions(cfg.year),
+            zero_rtt_probability=0.8,
+            suite=cfg.suite,
+        )
+        scenario.network.add_device(gcp_bot)
+        gcp_bot.sweep(cfg.zero_rtt_scan_packets, start_time=0.0, duration=window)
+        isp_bot = UnknownScanner(
+            name="bot-0rtt",
+            address=isp_prefixes[7].host(9999),
+            loop=loop,
+            rng=bot_rng,
+            target_prefix=scenario.telescope.prefix,
+            versions=_scanner_versions(cfg.year),
+            zero_rtt_probability=0.5,
+            suite=cfg.suite,
+        )
+        scenario.network.add_device(isp_bot)
+        isp_bot.sweep(cfg.zero_rtt_scan_packets, start_time=0.0, duration=window)
+
+    noise = NoiseSource(
+        name="noise",
+        address=isp_prefixes[3].host(12345),
+        loop=loop,
+        rng=random.Random(cfg.seed ^ 0x401E),
+        target_prefix=scenario.telescope.prefix,
+    )
+    scenario.network.add_device(noise)
+    noise.emit(cfg.noise_packets, start_time=0.0, duration=window)
+
+
+# ---------------------------------------------------------------------------
+# Active-measurement labs
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Lab:
+    """A small deployment for active experiments (no telescope traffic)."""
+
+    loop: EventLoop
+    network: Network
+    rng: random.Random
+    clusters: dict[str, list[FrontendCluster]]
+    geodb: GeoDatabase
+
+    def vips(self, hypergiant: str) -> list[int]:
+        return [
+            vip for cluster in self.clusters.get(hypergiant, []) for vip in cluster.vips
+        ]
+
+
+def build_facebook_lab(
+    cluster_specs: list[tuple[int, int, str]],
+    seed: int = 7,
+    suite: str = "null",
+    workers_per_host: int = 4,
+    maglev_table_size: int = 1021,
+) -> Lab:
+    """Facebook on-net deployment for L7LB experiments.
+
+    ``cluster_specs`` is a list of ``(vip_count, l7_host_count, country)``.
+    The default ``null`` protection suite makes bulk probing cheap; the
+    wire format is unchanged.
+    """
+    rng = random.Random(seed)
+    loop = EventLoop()
+    network = Network(loop, random.Random(seed ^ 1), PathModel(jitter=0.0))
+    geodb = GeoDatabase()
+    profile = replace(
+        facebook_profile(), protection_suite=suite, workers_per_host=workers_per_host
+    )
+    cert = _cluster_cert(FACEBOOK)
+    clusters = []
+    next_host_id = 1000  # disjoint per-cluster host-ID ranges (see above)
+    for i, (vip_count, host_count, country) in enumerate(cluster_specs):
+        prefix = "157.240.%d.0/24" % (i % 250) if i < 250 else "31.13.%d.0/24" % (i - 250)
+        cluster = FrontendCluster(
+            name="fb-pop-%d" % i,
+            prefix=prefix,
+            profile=profile,
+            loop=loop,
+            rng=rng,
+            vip_count=vip_count,
+            l7_host_count=host_count,
+            host_id_base=next_host_id,
+            certificate=cert,
+            country=country,
+            maglev_table_size=maglev_table_size,
+        )
+        next_host_id += host_count + rng.randrange(1, 20)
+        network.add_device(cluster)
+        geodb.register(prefix, country)
+        clusters.append(cluster)
+    return Lab(
+        loop=loop, network=network, rng=rng, clusters={"Facebook": clusters}, geodb=geodb
+    )
+
+
+def build_lb_lab(
+    google_hosts: int = 12,
+    facebook_hosts: int = 12,
+    seed: int = 11,
+    suite: str = "null",
+    quic_lb_hosts: int = 0,
+) -> Lab:
+    """One Google + one Facebook cluster, for the Appendix-D experiments.
+
+    ``quic_lb_hosts`` > 0 additionally deploys a hypothetical QUIC-LB
+    (IETF routable-CID) cluster under the "QuicLB" key — used by the
+    migration ablation.
+    """
+    from repro.server.profiles import quic_lb_profile
+
+    rng = random.Random(seed)
+    loop = EventLoop()
+    network = Network(loop, random.Random(seed ^ 1), PathModel(jitter=0.0))
+    geodb = GeoDatabase()
+    clusters: dict[str, list[FrontendCluster]] = {}
+    specs = [
+        (GOOGLE.name, google_profile(), "142.250.0.0/24", google_hosts, GOOGLE),
+        (FACEBOOK.name, facebook_profile(), "157.240.0.0/24", facebook_hosts, FACEBOOK),
+    ]
+    if quic_lb_hosts:
+        specs.append(
+            ("QuicLB", quic_lb_profile(), "198.18.0.0/24", quic_lb_hosts, None)
+        )
+    for name, profile, prefix, hosts, hypergiant in specs:
+        cluster = FrontendCluster(
+            name="%s-lab" % name.lower(),
+            prefix=prefix,
+            profile=replace(profile, protection_suite=suite),
+            loop=loop,
+            rng=rng,
+            vip_count=8,
+            l7_host_count=hosts,
+            host_id_base=100,
+            certificate=_cluster_cert(hypergiant) if hypergiant else None,
+            country="US",
+        )
+        network.add_device(cluster)
+        geodb.register(prefix, "US")
+        clusters[name] = [cluster]
+    return Lab(
+        loop=loop, network=network, rng=rng, clusters=clusters, geodb=geodb
+    )

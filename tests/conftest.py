@@ -1,0 +1,44 @@
+"""Shared fixtures: a small but fully featured telescope scenario.
+
+Built once per test session — several analysis test modules consume the
+same classified capture.
+"""
+
+import pytest
+
+from repro.workloads.scenario import ScenarioConfig, build_scenario
+
+
+@pytest.fixture(scope="session")
+def small_scenario():
+    """A reduced January-2022 month: every traffic class, quick to run."""
+    config = ScenarioConfig(
+        seed=20220101,
+        facebook_clusters=3,
+        google_clusters=3,
+        cloudflare_clusters=2,
+        facebook_hosts_per_cluster=12,
+        google_hosts_per_cluster=10,
+        cloudflare_hosts_per_cluster=8,
+        facebook_offnets=10,
+        cloudflare_offnets=2,
+        remaining_servers=60,
+        attacks_facebook=420,
+        attacks_google=700,
+        attacks_cloudflare=60,
+        attacks_offnet=260,
+        attacks_remaining=400,
+        research_scan_packets=1500,
+        unknown_scan_packets=900,
+        zero_rtt_scan_packets=25,
+        noise_packets=300,
+        window=600.0,
+    )
+    scenario = build_scenario(config)
+    scenario.run()
+    return scenario
+
+
+@pytest.fixture(scope="session")
+def small_capture(small_scenario):
+    return small_scenario.classify()

@@ -1,0 +1,110 @@
+"""IBR activity analysis and Cloudflare colo fingerprinting."""
+
+import pytest
+
+from repro.core.colo import cloudflare_colos
+from repro.core.ibr_activity import (
+    FloodEvent,
+    activity_series,
+    detect_flood_events,
+    summarize_ibr,
+)
+from repro.telescope.classify import CapturedPacket, PacketClass
+
+
+def synth_packet(ts, src=1, dst=2):
+    """A minimal CapturedPacket for event-detection logic tests."""
+    from repro.quic.packet import PacketType, ParsedLongHeader
+
+    header = ParsedLongHeader(
+        packet_type=PacketType.INITIAL,
+        version=1,
+        dcid=b"\x01" * 8,
+        scid=b"\x02" * 8,
+        token=b"",
+        pn_offset=20,
+        packet_length=1200,
+        payload_length=1180,
+    )
+    return CapturedPacket(
+        timestamp=ts,
+        src_ip=src,
+        dst_ip=dst,
+        src_port=443,
+        dst_port=4000,
+        udp_payload_length=1200,
+        packets=[header],
+        klass=PacketClass.BACKSCATTER,
+        origin="Facebook",
+    )
+
+
+class TestActivitySeries:
+    def test_binning(self):
+        packets = [synth_packet(t) for t in (0.0, 10.0, 61.0, 150.0)]
+        series = activity_series(packets, bin_width=60.0)
+        assert series == {0.0: 2, 60.0: 1, 120.0: 1}
+
+    def test_empty(self):
+        assert activity_series([]) == {}
+
+
+class TestFloodDetection:
+    def test_single_burst(self):
+        packets = [synth_packet(float(t)) for t in range(20)]
+        events = detect_flood_events(packets, quiet_gap=60, min_packets=5)
+        assert len(events) == 1
+        event = events[0]
+        assert event.packets == 20
+        assert event.duration == 19.0
+        assert event.rate == pytest.approx(20 / 19)
+
+    def test_quiet_gap_splits_events(self):
+        packets = [synth_packet(float(t)) for t in range(15)]
+        packets += [synth_packet(500.0 + t) for t in range(15)]
+        events = detect_flood_events(packets, quiet_gap=120, min_packets=5)
+        assert len(events) == 2
+        assert events[0].end < events[1].start
+
+    def test_min_packets_filters_noise(self):
+        packets = [synth_packet(0.0), synth_packet(1.0)]
+        assert detect_flood_events(packets, min_packets=5) == []
+
+    def test_distinct_victims_distinct_events(self):
+        packets = [synth_packet(float(t), src=1) for t in range(10)]
+        packets += [synth_packet(float(t), src=2) for t in range(10)]
+        events = detect_flood_events(packets, min_packets=5)
+        assert {e.victim for e in events} == {1, 2}
+
+    def test_spoofed_target_count(self):
+        packets = [synth_packet(float(t), dst=100 + t % 7) for t in range(14)]
+        events = detect_flood_events(packets, min_packets=5)
+        assert events[0].spoofed_targets == 7
+
+    def test_on_simulated_month(self, small_capture):
+        summary = summarize_ibr(small_capture.backscatter, min_packets=4)
+        assert summary.victims > 50
+        per_origin = summary.events_per_origin()
+        assert per_origin["Facebook"] > 0
+        assert per_origin["Google"] > 0
+        busiest = summary.busiest(3)
+        assert busiest[0].packets >= busiest[-1].packets
+
+
+class TestCloudflareColos:
+    def test_colos_recovered(self, small_scenario, small_capture):
+        view = cloudflare_colos(small_capture.backscatter)
+        # The small scenario deploys 2 Cloudflare clusters = 2 colo IDs.
+        assert view.colo_count == len(small_scenario.clusters["Cloudflare"])
+        for colo, metal_count in view.metal_counts().items():
+            assert metal_count >= 1
+
+    def test_metals_bounded_by_deployment(self, small_scenario, small_capture):
+        view = cloudflare_colos(small_capture.backscatter)
+        hosts = small_scenario.clusters["Cloudflare"][0].hosts
+        for metals in view.metals_by_colo.values():
+            assert len(metals) <= len(hosts) * 2  # metal = host_id & 0xff
+
+    def test_empty_capture(self):
+        view = cloudflare_colos([])
+        assert view.colo_count == 0

@@ -1,0 +1,88 @@
+"""The command-line interface, exercised through main()."""
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture(scope="module")
+def pcap_path(tmp_path_factory):
+    path = str(tmp_path_factory.mktemp("cli") / "month.pcap")
+    code = main(["simulate", path, "--scale", "0.05", "--seed", "42"])
+    assert code == 0
+    return path
+
+
+class TestSimulate:
+    def test_writes_pcap(self, pcap_path, capsys):
+        from repro.netstack.pcap import read_pcap
+
+        records = read_pcap(pcap_path)
+        assert len(records) > 500
+
+    def test_2021_mode(self, tmp_path, capsys):
+        path = str(tmp_path / "old.pcap")
+        assert main(["simulate", path, "--year", "2021", "--scale", "0.05"]) == 0
+        out = capsys.readouterr().out
+        assert "2021" in out
+
+
+class TestClassify:
+    def test_prints_stage_table(self, pcap_path, capsys):
+        assert main(["classify", pcap_path]) == 0
+        out = capsys.readouterr().out
+        assert "backscatter kept" in out
+        assert "acknowledged scanners" in out
+
+
+class TestAnalyze:
+    def test_default_tables(self, pcap_path, capsys):
+        assert main(["analyze", pcap_path]) == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out
+        assert "Table 2" in out
+        assert "Table 3" in out
+        assert "Table 4" in out
+
+    def test_selected_outputs(self, pcap_path, capsys):
+        assert main(["analyze", pcap_path, "--tables", "rto"]) == 0
+        out = capsys.readouterr().out
+        assert "retransmission" in out
+        assert "Table 2" not in out
+
+    def test_rto_values_visible(self, pcap_path, capsys):
+        main(["analyze", pcap_path, "--tables", "rto"])
+        out = capsys.readouterr().out
+        assert "0.40" in out  # Facebook
+        assert "0.30" in out  # Google
+
+
+class TestProbe:
+    def test_enumerate(self, capsys):
+        assert main(
+            ["probe", "enumerate", "--hosts", "6", "--handshakes", "150"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "Enumerated 6 L7LBs" in out
+
+    def test_lb_type(self, capsys):
+        assert main(["probe", "lb-type", "--hosts", "6"]) == 0
+        out = capsys.readouterr().out
+        assert "5-tuple" in out
+        assert "cid-aware" in out
+
+    def test_migration(self, capsys):
+        assert main(["probe", "migration", "--hosts", "6"]) == 0
+        out = capsys.readouterr().out
+        assert "QuicLB" in out
+        assert "survived" in out
+
+
+class TestParser:
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])
+
+    def test_missing_pcap_argument(self):
+        with pytest.raises(SystemExit):
+            main(["classify"])

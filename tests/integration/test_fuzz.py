@@ -1,0 +1,187 @@
+"""Fuzzing invariants: hostile bytes must never crash, only be rejected.
+
+The engine, the dissector, and every codec face attacker-controlled input;
+each must either parse correctly or raise its module's typed error —
+nothing else, and never an unhandled exception.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.dissector import DissectError, dissect_datagram
+from repro.netstack.addr import parse_ip
+from repro.netstack.udp import UdpDatagram, UdpParseError, decode_udp
+from repro.quic.frames import FrameParseError, decode_frames
+from repro.quic.packet import PacketParseError, decode_datagram, parse_long_header
+from repro.quic.transport_params import TransportParamError, TransportParameters
+from repro.server.engine import QuicServerEngine
+from repro.server.profiles import facebook_profile, google_profile
+from repro.simnet.eventloop import EventLoop
+from repro.tls.certs import Certificate, CertificateError
+from repro.tls.handshake import TlsParseError, decode_handshake
+
+
+@settings(max_examples=300, deadline=None)
+@given(st.binary(min_size=0, max_size=200))
+def test_packet_parser_never_crashes(data):
+    try:
+        parse_long_header(data)
+    except PacketParseError:
+        pass
+
+
+@settings(max_examples=300, deadline=None)
+@given(st.binary(min_size=0, max_size=400))
+def test_datagram_decoder_never_crashes(data):
+    try:
+        decode_datagram(data)
+    except PacketParseError:
+        pass
+
+
+@settings(max_examples=300, deadline=None)
+@given(st.binary(min_size=0, max_size=200))
+def test_frame_decoder_never_crashes(data):
+    try:
+        decode_frames(data)
+    except FrameParseError:
+        pass
+
+
+@settings(max_examples=200, deadline=None)
+@given(st.binary(min_size=0, max_size=200))
+def test_dissector_never_crashes(data):
+    try:
+        dissect_datagram(data, validate_crypto=True)
+    except DissectError:
+        pass
+
+
+@settings(max_examples=200, deadline=None)
+@given(st.binary(min_size=0, max_size=120))
+def test_transport_params_never_crash(data):
+    try:
+        TransportParameters.decode(data)
+    except TransportParamError:
+        pass
+
+
+@settings(max_examples=200, deadline=None)
+@given(st.binary(min_size=0, max_size=150))
+def test_tls_decoder_never_crashes(data):
+    try:
+        decode_handshake(data)
+    except TlsParseError:
+        pass
+
+
+@settings(max_examples=200, deadline=None)
+@given(st.binary(min_size=0, max_size=120))
+def test_certificate_decoder_never_crashes(data):
+    try:
+        Certificate.decode(data)
+    except CertificateError:
+        pass
+
+
+@settings(max_examples=150, deadline=None)
+@given(st.binary(min_size=0, max_size=120))
+def test_udp_decoder_never_crashes(data):
+    try:
+        decode_udp(data)
+    except (UdpParseError, ValueError):
+        pass
+
+
+class _Fuzzed:
+    """Shared engine for the stateful datagram fuzz below."""
+
+    def __init__(self, profile):
+        self.loop = EventLoop()
+        self.sent = []
+        self.engine = QuicServerEngine(
+            profile=profile,
+            loop=self.loop,
+            rng=random.Random(1),
+            send=self.sent.append,
+            host_id=3,
+            worker_id=1,
+        )
+
+
+@settings(max_examples=250, deadline=None)
+@given(
+    payload=st.binary(min_size=0, max_size=300),
+    sport=st.integers(min_value=1, max_value=65535),
+)
+def test_engine_survives_arbitrary_datagrams(payload, sport):
+    """No byte sequence may crash the server or leak an exception."""
+    fuzz = _Fuzzed(facebook_profile())
+    datagram = UdpDatagram(
+        src_ip=parse_ip("203.0.113.5"),
+        dst_ip=parse_ip("157.240.1.1"),
+        src_port=sport,
+        dst_port=443,
+        payload=payload,
+    )
+    fuzz.engine.on_datagram(datagram, 0.0)
+    fuzz.loop.run()
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    flips=st.lists(
+        st.tuples(st.integers(0, 1199), st.integers(1, 255)),
+        min_size=1,
+        max_size=8,
+    )
+)
+def test_engine_survives_corrupted_initials(flips):
+    """Bit-flipped versions of a *valid* Initial exercise deeper paths."""
+    from repro.workloads.clients import ClientConnection
+
+    fuzz = _Fuzzed(google_profile())
+    connection = ClientConnection(
+        rng=random.Random(7),
+        src_ip=parse_ip("203.0.113.9"),
+        src_port=4444,
+        dst_ip=parse_ip("142.250.0.1"),
+    )
+    datagram = connection.initial_datagram()
+    data = bytearray(datagram.payload)
+    for position, mask in flips:
+        data[position % len(data)] ^= mask
+    fuzz.engine.on_datagram(datagram.with_payload(bytes(data)), 0.0)
+    fuzz.loop.run()
+
+
+def test_engine_fuzz_still_functions_after_abuse():
+    """After a fuzzing barrage the engine still serves real clients."""
+    from repro.quic.packet import parse_long_header as plh
+    from repro.workloads.clients import ClientConnection
+
+    fuzz = _Fuzzed(facebook_profile())
+    rng = random.Random(3)
+    for i in range(300):
+        fuzz.engine.on_datagram(
+            UdpDatagram(
+                src_ip=parse_ip("203.0.113.1"),
+                dst_ip=parse_ip("157.240.1.1"),
+                src_port=1024 + i,
+                dst_port=443,
+                payload=rng.randbytes(rng.randint(0, 100)),
+            ),
+            0.0,
+        )
+    connection = ClientConnection(
+        rng=rng,
+        src_ip=parse_ip("203.0.113.2"),
+        src_port=5555,
+        dst_ip=parse_ip("157.240.1.1"),
+    )
+    before = len(fuzz.sent)
+    fuzz.engine.on_datagram(connection.initial_datagram(), 1.0)
+    assert len(fuzz.sent) == before + 2  # a real flight went out
+    assert plh(fuzz.sent[before].payload).scid  # with a server CID

@@ -1,0 +1,102 @@
+"""IPv4 address and prefix arithmetic."""
+
+import random
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.netstack.addr import Prefix, format_ip, parse_ip
+
+
+class TestParseFormat:
+    def test_basic(self):
+        assert parse_ip("1.2.3.4") == 0x01020304
+        assert format_ip(0x01020304) == "1.2.3.4"
+        assert parse_ip("255.255.255.255") == 0xFFFFFFFF
+        assert parse_ip("0.0.0.0") == 0
+
+    def test_invalid(self):
+        for bad in ("1.2.3", "1.2.3.4.5", "256.0.0.1", "a.b.c.d", "-1.0.0.0"):
+            with pytest.raises(ValueError):
+                parse_ip(bad)
+
+    def test_format_out_of_range(self):
+        with pytest.raises(ValueError):
+            format_ip(1 << 32)
+        with pytest.raises(ValueError):
+            format_ip(-1)
+
+
+class TestPrefix:
+    def test_parse_and_str(self):
+        prefix = Prefix.parse("44.0.0.0/9")
+        assert str(prefix) == "44.0.0.0/9"
+        assert prefix.size == 1 << 23
+
+    def test_containment(self):
+        prefix = Prefix.parse("157.240.1.0/24")
+        assert parse_ip("157.240.1.77") in prefix
+        assert parse_ip("157.240.2.1") not in prefix
+
+    def test_host_bits_rejected(self):
+        with pytest.raises(ValueError):
+            Prefix(parse_ip("1.2.3.4"), 24)
+
+    def test_length_bounds(self):
+        with pytest.raises(ValueError):
+            Prefix(0, 33)
+
+    def test_missing_length(self):
+        with pytest.raises(ValueError):
+            Prefix.parse("1.2.3.0")
+
+    def test_first_last(self):
+        prefix = Prefix.parse("10.0.0.0/30")
+        assert format_ip(prefix.first) == "10.0.0.0"
+        assert format_ip(prefix.last) == "10.0.0.3"
+
+    def test_host_indexing(self):
+        prefix = Prefix.parse("10.0.0.0/24")
+        assert format_ip(prefix.host(1)) == "10.0.0.1"
+        with pytest.raises(ValueError):
+            prefix.host(256)
+
+    def test_random_host_inside(self):
+        prefix = Prefix.parse("44.0.0.0/9")
+        rng = random.Random(7)
+        for _ in range(50):
+            assert prefix.random_host(rng) in prefix
+
+    def test_subnets(self):
+        subnets = Prefix.parse("10.0.0.0/22").subnets(24)
+        assert [str(s) for s in subnets] == [
+            "10.0.0.0/24",
+            "10.0.1.0/24",
+            "10.0.2.0/24",
+            "10.0.3.0/24",
+        ]
+
+    def test_subnets_invalid(self):
+        with pytest.raises(ValueError):
+            Prefix.parse("10.0.0.0/24").subnets(16)
+
+    def test_zero_prefix_contains_everything(self):
+        everything = Prefix(0, 0)
+        assert parse_ip("8.8.8.8") in everything
+
+
+@given(st.integers(min_value=0, max_value=(1 << 32) - 1))
+def test_parse_format_roundtrip(value):
+    assert parse_ip(format_ip(value)) == value
+
+
+@given(
+    st.integers(min_value=0, max_value=(1 << 32) - 1),
+    st.integers(min_value=0, max_value=32),
+)
+def test_prefix_contains_its_hosts(address, length):
+    mask = ((1 << length) - 1) << (32 - length) if length else 0
+    prefix = Prefix(address & mask, length)
+    assert prefix.first in prefix
+    assert prefix.last in prefix
+    assert (prefix.last - prefix.first + 1) == prefix.size

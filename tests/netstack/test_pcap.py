@@ -1,0 +1,111 @@
+"""Classic pcap reader/writer."""
+
+import io
+import struct
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.netstack.pcap import (
+    LINKTYPE_RAW,
+    PcapError,
+    PcapReader,
+    PcapRecord,
+    PcapWriter,
+    read_pcap,
+    write_pcap,
+)
+
+
+def roundtrip(records):
+    buf = io.BytesIO()
+    PcapWriter(buf).write_all(records)
+    buf.seek(0)
+    return list(PcapReader(buf))
+
+
+class TestRoundtrip:
+    def test_empty_file(self):
+        assert roundtrip([]) == []
+
+    def test_records_preserved(self):
+        records = [
+            PcapRecord(timestamp=1.5, data=b"\x45" + b"\x00" * 19),
+            PcapRecord(timestamp=2.000001, data=b"hello"),
+        ]
+        decoded = roundtrip(records)
+        assert [r.data for r in decoded] == [r.data for r in records]
+        assert decoded[0].ts_sec == 1 and decoded[0].ts_usec == 500000
+        assert decoded[1].ts_usec == 1
+
+    def test_linktype_header(self):
+        buf = io.BytesIO()
+        PcapWriter(buf)
+        buf.seek(0)
+        reader = PcapReader(buf)
+        assert reader.linktype == LINKTYPE_RAW
+
+    def test_snaplen_truncation(self):
+        buf = io.BytesIO()
+        PcapWriter(buf, snaplen=4).write(PcapRecord(0.0, b"longpayload"))
+        buf.seek(0)
+        record = list(PcapReader(buf))[0]
+        assert record.data == b"long"
+
+    def test_file_helpers(self, tmp_path):
+        path = str(tmp_path / "capture.pcap")
+        write_pcap(path, [PcapRecord(3.25, b"abc")])
+        records = read_pcap(path)
+        assert records[0].data == b"abc"
+        assert abs(records[0].timestamp - 3.25) < 1e-6
+
+
+class TestBigEndianFiles:
+    def test_swapped_magic(self):
+        header = struct.pack(">IHHiIII", 0xA1B2C3D4, 2, 4, 0, 0, 65535, 101)
+        record = struct.pack(">IIII", 1, 250, 3, 3) + b"abc"
+        reader = PcapReader(io.BytesIO(header + record))
+        records = list(reader)
+        assert records[0].data == b"abc"
+
+
+class TestErrors:
+    def test_bad_magic(self):
+        with pytest.raises(PcapError):
+            PcapReader(io.BytesIO(b"\x00" * 24))
+
+    def test_truncated_global_header(self):
+        with pytest.raises(PcapError):
+            PcapReader(io.BytesIO(b"\xd4\xc3\xb2\xa1"))
+
+    def test_truncated_record_header(self):
+        buf = io.BytesIO()
+        PcapWriter(buf).write(PcapRecord(0.0, b"abcd"))
+        data = buf.getvalue()[:-10]
+        with pytest.raises(PcapError):
+            list(PcapReader(io.BytesIO(data)))
+
+    def test_truncated_record_body(self):
+        buf = io.BytesIO()
+        PcapWriter(buf).write(PcapRecord(0.0, b"abcd"))
+        data = buf.getvalue()[:-2]
+        with pytest.raises(PcapError):
+            list(PcapReader(io.BytesIO(data)))
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    st.lists(
+        st.tuples(
+            st.floats(min_value=0, max_value=2**31, allow_nan=False),
+            st.binary(min_size=0, max_size=200),
+        ),
+        max_size=10,
+    )
+)
+def test_roundtrip_property(items):
+    records = [PcapRecord(timestamp=t, data=d) for t, d in items]
+    decoded = roundtrip(records)
+    assert [r.data for r in decoded] == [r.data for r in records]
+    for original, copy in zip(records, decoded):
+        assert abs(original.timestamp - copy.timestamp) < 1e-5

@@ -1,0 +1,98 @@
+"""1-RTT (short header) packets."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.quic.crypto.suites import FastProtection, NullProtection, ProtectionError
+from repro.quic.packet import (
+    PacketParseError,
+    ShortHeaderPacket,
+    encode_short_packet,
+    parse_short_header,
+    unprotect_short_packet,
+)
+
+DCID = b"\xaa\xbb\xcc\xdd\xee\xff\x00\x11"
+
+
+def suite():
+    return FastProtection(1, b"\x01" * 8)
+
+
+class TestEncodeParse:
+    def test_roundtrip(self):
+        packet = ShortHeaderPacket(
+            dcid=DCID, packet_number=9, payload=b"\x01" + b"\x00" * 30
+        )
+        wire = encode_short_packet(packet, suite(), is_server=True)
+        parsed = parse_short_header(wire, cid_length=8)
+        assert parsed.dcid == DCID
+        plain = unprotect_short_packet(parsed, wire, suite(), from_server=True)
+        assert plain.packet_number == 9
+        assert plain.payload == packet.payload
+
+    def test_no_form_bit(self):
+        wire = encode_short_packet(
+            ShortHeaderPacket(dcid=DCID, payload=b"\x00" * 24), suite(), True
+        )
+        assert not wire[0] & 0x80
+        assert wire[0] & 0x40
+
+    def test_spin_bit_survives(self):
+        packet = ShortHeaderPacket(dcid=DCID, payload=b"\x00" * 24, spin_bit=True)
+        wire = encode_short_packet(packet, NullProtection(1, b""), True)
+        assert parse_short_header(wire, 8).spin_bit
+
+    def test_cid_length_is_receiver_knowledge(self):
+        """Parsing with the wrong configured length yields the wrong DCID —
+        the paper's §2.2 point about load balancers and CID lengths."""
+        packet = ShortHeaderPacket(dcid=DCID, payload=b"\x00" * 24)
+        wire = encode_short_packet(packet, NullProtection(1, b""), True)
+        assert parse_short_header(wire, 8).dcid == DCID
+        assert parse_short_header(wire, 4).dcid == DCID[:4]
+
+    def test_rejects_long_header(self):
+        with pytest.raises(PacketParseError):
+            parse_short_header(b"\xc0\x00\x00\x00\x01" + b"\x00" * 20, 8)
+
+    def test_rejects_zero_fixed_bit(self):
+        with pytest.raises(PacketParseError):
+            parse_short_header(b"\x00" + b"\x00" * 20, 8)
+
+    def test_rejects_truncated(self):
+        with pytest.raises(PacketParseError):
+            parse_short_header(b"\x40\x01\x02", 8)
+        with pytest.raises(PacketParseError):
+            parse_short_header(b"", 8)
+
+    def test_bad_pn_length(self):
+        with pytest.raises(PacketParseError):
+            encode_short_packet(
+                ShortHeaderPacket(dcid=DCID, pn_length=5), suite(), True
+            )
+
+    def test_tamper_detected(self):
+        packet = ShortHeaderPacket(dcid=DCID, payload=b"\x01" + b"\x00" * 30)
+        wire = bytearray(encode_short_packet(packet, suite(), True))
+        wire[-1] ^= 1
+        parsed = parse_short_header(bytes(wire), 8)
+        with pytest.raises(ProtectionError):
+            unprotect_short_packet(parsed, bytes(wire), suite(), True)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    dcid=st.binary(min_size=0, max_size=20),
+    payload=st.binary(min_size=24, max_size=200),
+    pn=st.integers(min_value=0, max_value=0xFFFF),
+)
+def test_roundtrip_property(dcid, payload, pn):
+    s = FastProtection(1, b"\x02" * 8)
+    packet = ShortHeaderPacket(
+        dcid=dcid, packet_number=pn & 0xFF, payload=payload, pn_length=1
+    )
+    wire = encode_short_packet(packet, s, is_server=False)
+    parsed = parse_short_header(wire, cid_length=len(dcid))
+    plain = unprotect_short_packet(parsed, wire, s, from_server=False)
+    assert plain.dcid == dcid
+    assert plain.payload == payload

@@ -1,0 +1,151 @@
+"""Packet-protection suites: the RFC 9001 path, the fast path, and null."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.quic.crypto.suites import (
+    FastProtection,
+    NullProtection,
+    ProtectionError,
+    Rfc9001Protection,
+    decode_packet_number,
+    suite_by_name,
+)
+from repro.quic.packet import (
+    LongHeaderPacket,
+    PacketType,
+    encode_packet,
+    parse_long_header,
+    unprotect_packet,
+)
+
+DCID = bytes.fromhex("8394c8f03e515708")
+ALL_SUITES = [Rfc9001Protection, FastProtection, NullProtection]
+
+
+def make_packet(payload=b"\x01" * 40, pn=7, pn_length=2):
+    return LongHeaderPacket(
+        packet_type=PacketType.INITIAL,
+        version=1,
+        dcid=DCID,
+        scid=b"\xaa" * 8,
+        packet_number=pn,
+        payload=payload,
+        pn_length=pn_length,
+    )
+
+
+class TestSuiteRegistry:
+    def test_lookup_by_name(self):
+        assert suite_by_name("rfc9001") is Rfc9001Protection
+        assert suite_by_name("fast") is FastProtection
+        assert suite_by_name("null") is NullProtection
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError):
+            suite_by_name("rot13")
+
+
+@pytest.mark.parametrize("suite_cls", ALL_SUITES)
+class TestRoundtrip:
+    def test_client_roundtrip(self, suite_cls):
+        suite = suite_cls(1, DCID)
+        wire = encode_packet(make_packet(), suite, is_server=False)
+        parsed = parse_long_header(wire)
+        plain = unprotect_packet(parsed, wire, suite, from_server=False)
+        assert plain.payload == b"\x01" * 40
+        assert plain.packet_number == 7
+
+    def test_server_roundtrip(self, suite_cls):
+        suite = suite_cls(1, DCID)
+        wire = encode_packet(make_packet(pn=3, pn_length=1), suite, is_server=True)
+        parsed = parse_long_header(wire)
+        plain = unprotect_packet(parsed, wire, suite, from_server=True)
+        assert plain.packet_number == 3
+
+    def test_directions_use_distinct_keys(self, suite_cls):
+        suite = suite_cls(1, DCID)
+        wire = encode_packet(make_packet(), suite, is_server=False)
+        parsed = parse_long_header(wire)
+        if suite_cls is NullProtection:
+            pytest.skip("null suite is direction-agnostic by design")
+        with pytest.raises(ProtectionError):
+            unprotect_packet(parsed, wire, suite, from_server=True)
+
+
+@pytest.mark.parametrize("suite_cls", [Rfc9001Protection, FastProtection])
+class TestTamper:
+    def test_payload_tamper_detected(self, suite_cls):
+        suite = suite_cls(1, DCID)
+        wire = bytearray(encode_packet(make_packet(), suite, is_server=False))
+        wire[-1] ^= 0xFF
+        parsed = parse_long_header(bytes(wire))
+        with pytest.raises(ProtectionError):
+            unprotect_packet(parsed, bytes(wire), suite, from_server=False)
+
+    def test_wrong_dcid_fails(self, suite_cls):
+        suite = suite_cls(1, DCID)
+        other = suite_cls(1, b"\xff" * 8)
+        wire = encode_packet(make_packet(), suite, is_server=False)
+        parsed = parse_long_header(wire)
+        with pytest.raises(ProtectionError):
+            unprotect_packet(parsed, wire, other, from_server=False)
+
+    def test_truncated_sample(self, suite_cls):
+        suite = suite_cls(1, DCID)
+        with pytest.raises(ProtectionError):
+            suite.unprotect(False, b"\xc0\x00\x00\x00\x01", pn_offset=5)
+
+
+class TestHeaderProtectionBits:
+    def test_reserved_and_pn_bits_masked(self):
+        """The low nibble of the first byte must differ on the wire."""
+        suite = FastProtection(1, DCID)
+        packet = make_packet(pn_length=4)
+        wire = encode_packet(packet, suite, is_server=False)
+        unmasked_first = 0x80 | 0x40 | (0 << 4) | (4 - 1)
+        # With overwhelming probability the mask flips at least one of the
+        # protected bits across several packets.
+        differs = wire[0] != unmasked_first
+        for pn in range(1, 6):
+            wire = encode_packet(make_packet(pn=pn, pn_length=4), suite, False)
+            differs = differs or wire[0] != unmasked_first
+        assert differs
+
+
+class TestPacketNumberDecoding:
+    """RFC 9000 Appendix A.3 example and edge cases."""
+
+    def test_rfc_example(self):
+        # largest 0xa82f30ea, truncated 0x9b32 in 16 bits -> 0xa82f9b32.
+        assert decode_packet_number(0x9B32, 16, 0xA82F30EA) == 0xA82F9B32
+
+    def test_no_wrap_small(self):
+        assert decode_packet_number(5, 8, 3) == 5
+
+    def test_forward_wrap(self):
+        assert decode_packet_number(2, 8, 254) == 258
+
+    @given(
+        st.integers(min_value=0, max_value=(1 << 30)),
+        st.sampled_from([8, 16, 24, 32]),
+    )
+    def test_roundtrip_next_packet(self, largest, bits):
+        full = largest + 1
+        truncated = full & ((1 << bits) - 1)
+        assert decode_packet_number(truncated, bits, largest) == full
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    payload=st.binary(min_size=24, max_size=200),
+    pn=st.integers(min_value=0, max_value=0xFFFF),
+    pn_length=st.sampled_from([1, 2, 3, 4]),
+)
+def test_fast_suite_roundtrip_property(payload, pn, pn_length):
+    suite = FastProtection(1, DCID)
+    packet = make_packet(payload=payload, pn=pn & ((1 << (8 * pn_length)) - 1), pn_length=pn_length)
+    wire = encode_packet(packet, suite, is_server=True)
+    parsed = parse_long_header(wire)
+    plain = unprotect_packet(parsed, wire, suite, from_server=True)
+    assert plain.payload == payload

@@ -1,0 +1,83 @@
+"""Transport parameter codec (RFC 9000 §18)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.quic import transport_params as tp
+
+
+class TestRoundtrip:
+    def test_varint_params(self):
+        params = tp.TransportParameters()
+        params.set(tp.MAX_IDLE_TIMEOUT, 30000)
+        params.set(tp.MAX_UDP_PAYLOAD_SIZE, 1472)
+        params.set(tp.ACTIVE_CONNECTION_ID_LIMIT, 4)
+        decoded = tp.TransportParameters.decode(params.encode())
+        assert decoded.get(tp.MAX_IDLE_TIMEOUT) == 30000
+        assert decoded.get(tp.MAX_UDP_PAYLOAD_SIZE) == 1472
+        assert decoded.get(tp.ACTIVE_CONNECTION_ID_LIMIT) == 4
+
+    def test_bytes_params(self):
+        params = tp.TransportParameters()
+        params.set(tp.INITIAL_SOURCE_CONNECTION_ID, b"\xaa" * 8)
+        params.set(tp.STATELESS_RESET_TOKEN, b"\x01" * 16)
+        decoded = tp.TransportParameters.decode(params.encode())
+        assert decoded.get(tp.INITIAL_SOURCE_CONNECTION_ID) == b"\xaa" * 8
+
+    def test_flag_param(self):
+        params = tp.TransportParameters().set(tp.DISABLE_ACTIVE_MIGRATION, True)
+        decoded = tp.TransportParameters.decode(params.encode())
+        assert decoded.get(tp.DISABLE_ACTIVE_MIGRATION) is True
+
+    def test_unknown_param_preserved_as_bytes(self):
+        raw = bytes([0x40, 0x99, 3]) + b"abc"  # id=0x99 (2-byte varint), len 3
+        decoded = tp.TransportParameters.decode(raw)
+        assert decoded.get(0x99) == b"abc"
+
+    def test_named_view(self):
+        params = tp.TransportParameters().set(tp.MAX_IDLE_TIMEOUT, 5)
+        assert tp.TransportParameters.decode(params.encode()).named() == {
+            "max_idle_timeout": 5
+        }
+
+
+class TestErrors:
+    def test_varint_param_requires_int(self):
+        params = tp.TransportParameters().set(tp.MAX_IDLE_TIMEOUT, b"oops")
+        with pytest.raises(tp.TransportParamError):
+            params.encode()
+
+    def test_bytes_param_requires_bytes(self):
+        params = tp.TransportParameters().set(tp.INITIAL_SOURCE_CONNECTION_ID, 7)
+        with pytest.raises(tp.TransportParamError):
+            params.encode()
+
+    def test_trailing_bytes_in_varint_value(self):
+        raw = bytes([tp.MAX_IDLE_TIMEOUT, 2, 0x05, 0xFF])
+        with pytest.raises(tp.TransportParamError):
+            tp.TransportParameters.decode(raw)
+
+    def test_nonempty_migration_flag(self):
+        raw = bytes([tp.DISABLE_ACTIVE_MIGRATION, 1, 0])
+        with pytest.raises(tp.TransportParamError):
+            tp.TransportParameters.decode(raw)
+
+    def test_truncated(self):
+        params = tp.TransportParameters().set(tp.MAX_IDLE_TIMEOUT, 300000)
+        raw = params.encode()
+        with pytest.raises(tp.TransportParamError):
+            tp.TransportParameters.decode(raw[:-1])
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    idle=st.integers(min_value=0, max_value=(1 << 62) - 1),
+    scid=st.binary(min_size=0, max_size=20),
+)
+def test_roundtrip_property(idle, scid):
+    params = tp.TransportParameters()
+    params.set(tp.MAX_IDLE_TIMEOUT, idle)
+    params.set(tp.INITIAL_SOURCE_CONNECTION_ID, scid)
+    decoded = tp.TransportParameters.decode(params.encode())
+    assert decoded.get(tp.MAX_IDLE_TIMEOUT) == idle
+    assert decoded.get(tp.INITIAL_SOURCE_CONNECTION_ID) == scid

@@ -1,0 +1,102 @@
+"""QUIC variable-length integers (RFC 9000 §16)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.buffer import Reader
+from repro.quic.varint import (
+    VARINT_MAX,
+    decode_varint,
+    encode_varint,
+    read_varint,
+    varint_length,
+)
+
+
+class TestRfcExamples:
+    """The worked examples from RFC 9000 Appendix A.1."""
+
+    def test_eight_byte_example(self):
+        value, consumed = decode_varint(bytes.fromhex("c2197c5eff14e88c"))
+        assert value == 151_288_809_941_952_652
+        assert consumed == 8
+
+    def test_four_byte_example(self):
+        value, consumed = decode_varint(bytes.fromhex("9d7f3e7d"))
+        assert value == 494_878_333
+        assert consumed == 4
+
+    def test_two_byte_example(self):
+        value, consumed = decode_varint(bytes.fromhex("7bbd"))
+        assert value == 15_293
+        assert consumed == 2
+
+    def test_one_byte_example(self):
+        value, consumed = decode_varint(bytes.fromhex("25"))
+        assert value == 37
+        assert consumed == 1
+
+    def test_two_byte_encoding_of_small_value(self):
+        """RFC 9000: 0x4025 also decodes to 37 (non-minimal encoding)."""
+        value, consumed = decode_varint(bytes.fromhex("4025"))
+        assert value == 37
+        assert consumed == 2
+
+
+class TestEncoding:
+    def test_minimal_lengths(self):
+        assert varint_length(0) == 1
+        assert varint_length(63) == 1
+        assert varint_length(64) == 2
+        assert varint_length(16383) == 2
+        assert varint_length(16384) == 4
+        assert varint_length((1 << 30) - 1) == 4
+        assert varint_length(1 << 30) == 8
+        assert varint_length(VARINT_MAX) == 8
+
+    def test_forced_width(self):
+        assert encode_varint(37, width=2) == bytes.fromhex("4025")
+        assert encode_varint(37, width=4) == bytes.fromhex("80000025")
+        assert encode_varint(37, width=8) == bytes.fromhex("c000000000000025")
+
+    def test_forced_width_too_small(self):
+        with pytest.raises(ValueError):
+            encode_varint(70000, width=2)
+
+    def test_invalid_width(self):
+        with pytest.raises(ValueError):
+            encode_varint(1, width=3)
+
+    def test_out_of_range(self):
+        with pytest.raises(ValueError):
+            encode_varint(-1)
+        with pytest.raises(ValueError):
+            encode_varint(VARINT_MAX + 1)
+
+
+class TestReader:
+    def test_read_advances_cursor(self):
+        reader = Reader(bytes.fromhex("25" "7bbd"))
+        assert read_varint(reader) == 37
+        assert read_varint(reader) == 15293
+        assert reader.at_end()
+
+
+@given(st.integers(min_value=0, max_value=VARINT_MAX))
+def test_roundtrip(value):
+    decoded, consumed = decode_varint(encode_varint(value))
+    assert decoded == value
+    assert consumed == varint_length(value)
+
+
+@given(
+    st.integers(min_value=0, max_value=VARINT_MAX),
+    st.sampled_from([1, 2, 4, 8]),
+)
+def test_roundtrip_forced_width(value, width):
+    if varint_length(value) > width:
+        return
+    encoded = encode_varint(value, width=width)
+    assert len(encoded) == width
+    decoded, consumed = decode_varint(encoded)
+    assert (decoded, consumed) == (value, width)

@@ -1,0 +1,143 @@
+"""Engine 1-RTT paths: continuation, migration, rotation, resets."""
+
+import random
+
+import pytest
+
+from repro.netstack.addr import parse_ip
+from repro.netstack.udp import UdpDatagram
+from repro.quic.packet import parse_long_header
+from repro.server.engine import ConnState, QuicServerEngine
+from repro.server.profiles import facebook_profile, google_profile, quic_lb_profile
+from repro.simnet.eventloop import EventLoop
+from repro.workloads.clients import ClientConnection
+
+VIP = parse_ip("157.240.1.10")
+CLIENT = parse_ip("198.51.100.7")
+
+
+def establish(profile=None, seed=1):
+    """Engine with one fully established connection; returns the pieces."""
+    loop = EventLoop()
+    sent = []
+    engine = QuicServerEngine(
+        profile=profile or facebook_profile(),
+        loop=loop,
+        rng=random.Random(seed),
+        send=sent.append,
+        host_id=9,
+        worker_id=2,
+    )
+    connection = ClientConnection(
+        rng=random.Random(99),
+        src_ip=CLIENT,
+        src_port=5000,
+        dst_ip=VIP,
+        version=engine.profile.supported_versions[0],
+    )
+    engine.on_datagram(connection.initial_datagram(), 0.0)
+    for datagram in list(sent):
+        reply = connection.on_datagram(datagram, 0.01)
+        if reply is not None:
+            engine.on_datagram(reply, 0.02)
+    # Deliver everything sent since (incl. the NEW_CONNECTION_ID packet);
+    # already-seen flight datagrams are ignored by the client.
+    for datagram in list(sent):
+        connection.on_datagram(datagram, 0.03)
+    return engine, loop, sent, connection
+
+
+class TestContinuation:
+    def test_ping_from_same_path_ponged(self):
+        engine, loop, sent, connection = establish()
+        before = len(sent)
+        probe = connection.migration_datagram(5000)  # same port: no migration
+        engine.on_datagram(probe, 1.0)
+        assert len(sent) == before + 1
+        assert engine.stats.short_packets_received == 1
+        assert engine.stats.migrations_accepted == 0
+
+    def test_client_counts_pong(self):
+        engine, loop, sent, connection = establish()
+        probe = connection.migration_datagram(5000)
+        engine.on_datagram(probe, 1.0)
+        connection.on_datagram(sent[-1], 1.01)
+        assert connection.result.pongs == 1
+
+
+class TestMigration:
+    def test_new_path_accepted_and_address_updated(self):
+        engine, loop, sent, connection = establish()
+        probe = connection.migration_datagram(6111)
+        engine.on_datagram(probe, 1.0)
+        assert engine.stats.migrations_accepted == 1
+        conn = engine._by_scid[connection.result.server_scid]
+        assert conn.client_port == 6111
+
+    def test_rotated_cid_reaches_same_connection(self):
+        engine, loop, sent, connection = establish()
+        rotated = connection.result.new_connection_ids[0]
+        probe = connection.migration_datagram(6222, dcid=rotated)
+        engine.on_datagram(probe, 1.0)
+        assert engine.stats.migrations_accepted == 1
+        assert engine.stats.stateless_resets_sent == 0
+
+    def test_quic_lb_rotated_cid_decodes_host(self):
+        from repro.quic.cid import quic_lb
+
+        engine, loop, sent, connection = establish(profile=quic_lb_profile())
+        config = engine.profile.cid_scheme.config
+        rotated = connection.result.new_connection_ids[0]
+        server_id, _ = quic_lb.decode(config, rotated)
+        assert server_id == engine.host_id
+
+
+class TestResets:
+    def test_unknown_cid_gets_stateless_reset(self):
+        engine, loop, sent, connection = establish()
+        before = len(sent)
+        probe = connection.migration_datagram(6333, dcid=b"\x13" * 8)
+        engine.on_datagram(probe, 1.0)
+        assert engine.stats.stateless_resets_sent == 1
+        reset = sent[before]
+        # Looks like a short-header packet and ends with a 16-byte token.
+        assert not reset.payload[0] & 0x80
+        assert reset.payload[0] & 0x40
+        assert len(reset.payload) >= 21
+
+    def test_expired_connection_resets(self):
+        engine, loop, sent, connection = establish()
+        idle = engine.profile.idle_timeout
+        probe = connection.migration_datagram(5000)
+        engine.on_datagram(probe, idle + 5.0)
+        assert engine.stats.expired == 1
+        assert engine.stats.stateless_resets_sent == 1
+
+    def test_garbled_short_packet_discarded_silently(self):
+        engine, loop, sent, connection = establish()
+        probe = connection.migration_datagram(5000)
+        data = bytearray(probe.payload)
+        data[-1] ^= 0xFF  # break the AEAD tag
+        before = len(sent)
+        engine.on_datagram(probe.with_payload(bytes(data)), 1.0)
+        assert len(sent) == before
+        assert engine.stats.discarded_inconsistent == 1
+
+
+class TestRotationBookkeeping:
+    def test_rotated_cid_removed_with_connection(self):
+        engine, loop, sent, connection = establish()
+        rotated = connection.result.new_connection_ids[0]
+        assert rotated in engine._by_scid
+        conn = engine._by_scid[connection.result.server_scid]
+        engine._drop_connection(conn)
+        assert rotated not in engine._by_scid
+        assert connection.result.server_scid not in engine._by_scid
+
+    def test_google_rotation_is_random_not_echo(self):
+        engine, loop, sent, connection = establish(profile=google_profile())
+        rotated = connection.result.new_connection_ids[0]
+        assert rotated != connection.result.server_scid
+        # Echoed SCID equals the client's original DCID prefix; the rotated
+        # one must not (it cannot be derived from anything the LB sees).
+        assert rotated != connection.dcid[:8]

@@ -1,0 +1,109 @@
+"""Discrete-event loop semantics."""
+
+import pytest
+
+from repro.simnet.eventloop import EventLoop
+
+
+class TestScheduling:
+    def test_events_fire_in_time_order(self):
+        loop = EventLoop()
+        fired = []
+        loop.schedule(2.0, lambda: fired.append("b"))
+        loop.schedule(1.0, lambda: fired.append("a"))
+        loop.schedule(3.0, lambda: fired.append("c"))
+        loop.run()
+        assert fired == ["a", "b", "c"]
+        assert loop.now == 3.0
+
+    def test_ties_broken_by_insertion_order(self):
+        loop = EventLoop()
+        fired = []
+        for name in "abc":
+            loop.schedule(1.0, lambda n=name: fired.append(n))
+        loop.run()
+        assert fired == ["a", "b", "c"]
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError):
+            EventLoop().schedule(-0.1, lambda: None)
+
+    def test_schedule_at_past_clamps_to_now(self):
+        loop = EventLoop()
+        loop.schedule(1.0, lambda: None)
+        loop.run()
+        fired = []
+        loop.schedule_at(0.5, lambda: fired.append(True))
+        loop.run()
+        assert fired == [True]
+        assert loop.now == 1.0
+
+    def test_nested_scheduling(self):
+        loop = EventLoop()
+        fired = []
+
+        def outer():
+            fired.append("outer")
+            loop.schedule(0.5, lambda: fired.append("inner"))
+
+        loop.schedule(1.0, outer)
+        loop.run()
+        assert fired == ["outer", "inner"]
+        assert loop.now == 1.5
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_fire(self):
+        loop = EventLoop()
+        fired = []
+        event = loop.schedule(1.0, lambda: fired.append("x"))
+        event.cancel()
+        loop.run()
+        assert fired == []
+
+    def test_peek_time_skips_cancelled(self):
+        loop = EventLoop()
+        event = loop.schedule(1.0, lambda: None)
+        loop.schedule(2.0, lambda: None)
+        event.cancel()
+        assert loop.peek_time() == 2.0
+
+
+class TestRunUntil:
+    def test_partial_run(self):
+        loop = EventLoop()
+        fired = []
+        loop.schedule(1.0, lambda: fired.append(1))
+        loop.schedule(2.0, lambda: fired.append(2))
+        loop.run_until(1.5)
+        assert fired == [1]
+        assert loop.now == 1.5
+        loop.run_until(3.0)
+        assert fired == [1, 2]
+        assert loop.now == 3.0
+
+    def test_run_until_exact_boundary_inclusive(self):
+        loop = EventLoop()
+        fired = []
+        loop.schedule(1.0, lambda: fired.append(1))
+        loop.run_until(1.0)
+        assert fired == [1]
+
+
+class TestBudget:
+    def test_event_budget_guard(self):
+        loop = EventLoop()
+
+        def rearm():
+            loop.schedule(0.001, rearm)
+
+        loop.schedule(0.001, rearm)
+        with pytest.raises(RuntimeError):
+            loop.run(max_events=100)
+
+    def test_events_processed_counter(self):
+        loop = EventLoop()
+        for _ in range(5):
+            loop.schedule(0.1, lambda: None)
+        loop.run()
+        assert loop.events_processed == 5

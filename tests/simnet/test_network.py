@@ -1,0 +1,154 @@
+"""Routing, latency, loss, and spoofed-reply semantics."""
+
+import random
+
+from repro.netstack.addr import Prefix, parse_ip
+from repro.netstack.udp import UdpDatagram
+from repro.simnet.eventloop import EventLoop
+from repro.simnet.network import Device, Network, PathModel
+
+
+class Sink(Device):
+    """Records everything delivered to its prefix."""
+
+    def __init__(self, name, prefix):
+        super().__init__(name)
+        self._prefix = Prefix.parse(prefix)
+        self.received = []
+
+    def prefixes(self):
+        return [self._prefix]
+
+    def handle_datagram(self, datagram, now):
+        self.received.append((now, datagram))
+
+
+class Echo(Sink):
+    """Replies to every datagram (like a server replying to spoofed src)."""
+
+    def handle_datagram(self, datagram, now):
+        super().handle_datagram(datagram, now)
+        self.send(datagram.reply(b"reply"))
+
+
+def make_net(loss=0.0, jitter=0.0):
+    loop = EventLoop()
+    net = Network(loop, random.Random(1), PathModel(jitter=jitter, loss_rate=loss))
+    return loop, net
+
+
+def dgram(src, dst, payload=b"x", sport=1000, dport=443):
+    return UdpDatagram(
+        src_ip=parse_ip(src),
+        dst_ip=parse_ip(dst),
+        src_port=sport,
+        dst_port=dport,
+        payload=payload,
+    )
+
+
+class TestRouting:
+    def test_longest_prefix_delivery(self):
+        loop, net = make_net()
+        wide = Sink("wide", "10.0.0.0/8")
+        narrow = Sink("narrow", "10.1.0.0/16")
+        sender = Sink("sender", "192.0.2.0/24")
+        for device in (wide, narrow, sender):
+            net.add_device(device)
+        sender.send(dgram("192.0.2.1", "10.1.2.3"))
+        sender.send(dgram("192.0.2.1", "10.2.0.1"))
+        loop.run()
+        assert len(narrow.received) == 1
+        assert len(wide.received) == 1
+
+    def test_unrouted_dropped_and_counted(self):
+        loop, net = make_net()
+        sender = Sink("sender", "192.0.2.0/24")
+        net.add_device(sender)
+        sender.send(dgram("192.0.2.1", "203.0.113.9"))
+        loop.run()
+        assert net.stats.dropped_unrouted == 1
+        assert net.stats.delivered == 0
+
+    def test_latency_is_positive_and_orderly(self):
+        loop, net = make_net()
+        receiver = Sink("r", "10.0.0.0/8")
+        sender = Sink("s", "192.0.2.0/24")
+        net.add_device(receiver)
+        net.add_device(sender)
+        sender.send(dgram("192.0.2.1", "10.0.0.1"))
+        loop.run()
+        arrival, _ = receiver.received[0]
+        assert arrival >= 0.002  # base propagation delay
+
+    def test_add_route_extra_prefix(self):
+        loop, net = make_net()
+        receiver = Sink("r", "10.0.0.0/8")
+        sender = Sink("s", "192.0.2.0/24")
+        net.add_device(receiver)
+        net.add_device(sender)
+        net.add_route("172.16.0.0/12", receiver)
+        sender.send(dgram("192.0.2.1", "172.16.1.1"))
+        loop.run()
+        assert len(receiver.received) == 1
+
+    def test_route_lookup(self):
+        _loop, net = make_net()
+        receiver = Sink("r", "10.0.0.0/8")
+        net.add_device(receiver)
+        assert net.route(parse_ip("10.1.1.1")) is receiver
+        assert net.route(parse_ip("11.1.1.1")) is None
+
+
+class TestSpoofedBackscatter:
+    def test_reply_to_spoofed_source_reaches_telescope_prefix(self):
+        """The paper's core mechanism: spoofed request, reply lands in the
+        darknet."""
+        loop, net = make_net()
+        server = Echo("server", "157.240.0.0/16")
+        telescope = Sink("telescope", "44.0.0.0/9")
+        attacker = Sink("attacker", "198.18.0.0/15")
+        for device in (server, telescope, attacker):
+            net.add_device(device)
+        # Attacker spoofs a telescope address as source.
+        attacker.send(dgram("44.1.2.3", "157.240.1.1"))
+        loop.run()
+        assert len(server.received) == 1
+        assert len(telescope.received) == 1
+        _, backscatter = telescope.received[0]
+        assert backscatter.payload == b"reply"
+        assert backscatter.src_ip == parse_ip("157.240.1.1")
+
+
+class TestLoss:
+    def test_all_lost_at_rate_one(self):
+        loop, net = make_net(loss=1.0)
+        receiver = Sink("r", "10.0.0.0/8")
+        sender = Sink("s", "192.0.2.0/24")
+        net.add_device(receiver)
+        net.add_device(sender)
+        for _ in range(10):
+            sender.send(dgram("192.0.2.1", "10.0.0.1"))
+        loop.run()
+        assert receiver.received == []
+        assert net.stats.dropped_loss == 10
+
+    def test_partial_loss(self):
+        loop, net = make_net(loss=0.5)
+        receiver = Sink("r", "10.0.0.0/8")
+        sender = Sink("s", "192.0.2.0/24")
+        net.add_device(receiver)
+        net.add_device(sender)
+        for _ in range(200):
+            sender.send(dgram("192.0.2.1", "10.0.0.1"))
+        loop.run()
+        assert 50 < len(receiver.received) < 150
+
+
+class TestDeviceErrors:
+    def test_unattached_send_raises(self):
+        import pytest
+
+        device = Sink("lonely", "10.0.0.0/8")
+        with pytest.raises(RuntimeError):
+            device.send(dgram("10.0.0.1", "10.0.0.2"))

@@ -1,0 +1,180 @@
+"""Darknet capture, acknowledged scanners, and the sanitization pipeline."""
+
+import io
+import random
+
+import pytest
+
+from repro.core.dissector import dissect_datagram
+from repro.inetdata.asdb import AsDatabase, AsEntry
+from repro.netstack.addr import Prefix, parse_ip
+from repro.netstack.pcap import PcapRecord
+from repro.netstack.udp import UdpDatagram, encode_udp
+from repro.telescope.acknowledged import AcknowledgedScanners
+from repro.telescope.classify import PacketClass, classify_capture
+from repro.telescope.darknet import Telescope
+from repro.workloads.clients import ClientConnection
+
+
+def quic_record(src, dst, sport, dport, ts=1.0, version=1, pad=1200):
+    connection = ClientConnection(
+        rng=random.Random(sport),
+        src_ip=parse_ip(src),
+        src_port=sport,
+        dst_ip=parse_ip(dst),
+        dst_port=dport,
+        version=version,
+        pad_to=pad,
+    )
+    datagram = connection.initial_datagram()
+    # For backscatter-style records we need the source port to be 443.
+    datagram = UdpDatagram(
+        src_ip=datagram.src_ip,
+        dst_ip=datagram.dst_ip,
+        src_port=sport,
+        dst_port=dport,
+        payload=datagram.payload,
+    )
+    return PcapRecord(timestamp=ts, data=encode_udp(datagram))
+
+
+def noise_record(src, dst, sport, dport, payload=b"\x16\x03\x03junk"):
+    datagram = UdpDatagram(
+        src_ip=parse_ip(src),
+        dst_ip=parse_ip(dst),
+        src_port=sport,
+        dst_port=dport,
+        payload=payload,
+    )
+    return PcapRecord(timestamp=1.0, data=encode_udp(datagram))
+
+
+class TestTelescopeDevice:
+    def test_records_and_serializes(self):
+        telescope = Telescope(prefix="44.0.0.0/9")
+        datagram = UdpDatagram(
+            src_ip=parse_ip("1.2.3.4"),
+            dst_ip=parse_ip("44.0.0.1"),
+            src_port=443,
+            dst_port=5,
+            payload=b"x",
+        )
+        telescope.handle_datagram(datagram, 12.5)
+        assert len(telescope) == 1
+        buf = io.BytesIO()
+        telescope.write_pcap(buf)
+        buf.seek(0)
+        records = Telescope.load_records(buf)
+        assert len(records) == 1
+        assert abs(records[0].timestamp - 12.5) < 1e-6
+
+    def test_owns_prefix(self):
+        telescope = Telescope()
+        assert telescope.prefixes() == [Prefix.parse("44.0.0.0/9")]
+
+
+class TestAcknowledgedScanners:
+    def test_lookup(self):
+        scanners = AcknowledgedScanners()
+        scanners.register("141.212.0.0/16", "umich", "University of Michigan")
+        assert scanners.is_acknowledged(parse_ip("141.212.5.5"))
+        assert not scanners.is_acknowledged(parse_ip("141.213.5.5"))
+        entry = scanners.lookup(parse_ip("141.212.1.1"))
+        assert entry.name == "umich"
+        assert len(scanners) == 1
+        assert scanners.names == {"umich"}
+
+
+class TestClassification:
+    def test_backscatter_vs_scan_by_port(self):
+        records = [
+            quic_record("157.240.1.1", "44.1.1.1", 443, 4000),  # backscatter
+            quic_record("5.6.7.8", "44.1.1.2", 4000, 443),  # scan
+        ]
+        capture = classify_capture(records)
+        assert capture.stats.backscatter == 1
+        assert capture.stats.scans == 1
+        assert capture.backscatter[0].klass is PacketClass.BACKSCATTER
+
+    def test_non_443_removed(self):
+        capture = classify_capture([noise_record("1.1.1.1", "44.0.0.1", 53, 53)])
+        assert capture.stats.non_port_443 == 1
+        assert len(capture) == 0
+
+    def test_non_udp_removed(self):
+        capture = classify_capture([PcapRecord(1.0, b"\x45" + b"\x00" * 10)])
+        assert capture.stats.non_udp == 1
+
+    def test_dissector_removes_false_positives(self):
+        capture = classify_capture(
+            [noise_record("1.1.1.1", "44.0.0.1", 443, 9999)]
+        )
+        assert capture.stats.failed_dissection == 1
+
+    def test_acknowledged_scanner_removed_from_scans(self):
+        scanners = AcknowledgedScanners()
+        scanners.register("141.212.0.0/16", "umich")
+        records = [quic_record("141.212.1.1", "44.1.1.1", 5000, 443)]
+        capture = classify_capture(records, acknowledged=scanners)
+        assert capture.stats.acknowledged_scanner == 1
+        assert capture.stats.scans == 0
+
+    def test_acknowledged_source_does_not_affect_backscatter(self):
+        scanners = AcknowledgedScanners()
+        scanners.register("157.240.0.0/16", "oops")
+        records = [quic_record("157.240.1.1", "44.1.1.1", 443, 4000)]
+        capture = classify_capture(records, acknowledged=scanners)
+        assert capture.stats.backscatter == 1
+
+    def test_origin_mapping(self):
+        db = AsDatabase.with_hypergiants()
+        records = [quic_record("157.240.1.1", "44.1.1.1", 443, 4000)]
+        capture = classify_capture(records, asdb=db)
+        assert capture.backscatter[0].origin == "Facebook"
+
+    def test_crypto_validation_rejects_corrupted_initial(self):
+        record = quic_record("5.6.7.8", "44.1.1.2", 4000, 443)
+        corrupted = bytearray(record.data)
+        corrupted[-1] ^= 0xFF  # damage the AEAD tag
+        capture = classify_capture(
+            [PcapRecord(1.0, bytes(corrupted))], validate_crypto_scans=True
+        )
+        assert capture.stats.failed_dissection == 1
+
+    def test_removed_share(self):
+        records = [
+            quic_record("5.6.7.8", "44.1.1.2", 4000, 443),
+            noise_record("1.1.1.1", "44.0.0.1", 443, 9999),
+        ]
+        capture = classify_capture(records)
+        assert capture.stats.removed == 1
+        assert capture.stats.removed_share == pytest.approx(0.5)
+
+
+class TestDissector:
+    def test_accepts_valid_initial(self):
+        record = quic_record("5.6.7.8", "44.1.1.2", 4000, 443)
+        datagram = record.data[28:]  # strip IP+UDP headers
+        dissected = dissect_datagram(datagram, validate_crypto=True)
+        assert dissected.crypto_validated
+        assert not dissected.coalesced
+
+    def test_rejects_unknown_version(self):
+        from repro.core.dissector import DissectError
+
+        record = quic_record("5.6.7.8", "44.1.1.2", 4000, 443, version=0x12345678)
+        with pytest.raises(DissectError):
+            dissect_datagram(record.data[28:])
+
+    def test_rejects_tiny_payload(self):
+        from repro.core.dissector import DissectError
+
+        with pytest.raises(DissectError):
+            dissect_datagram(b"\xc0\x00\x00")
+
+    def test_is_quic_datagram_helper(self):
+        from repro.core.dissector import is_quic_datagram
+
+        record = quic_record("5.6.7.8", "44.1.1.2", 4000, 443)
+        assert is_quic_datagram(record.data[28:])
+        assert not is_quic_datagram(b"\x16\x03\x03\x00\x01xxxxx")

@@ -1,0 +1,129 @@
+"""TLS mini-stack: handshake codec and synthetic certificates."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.tls.certs import Certificate, CertificateError
+from repro.tls.handshake import (
+    ClientHello,
+    ServerHello,
+    TlsParseError,
+    decode_handshake,
+    encode_handshake,
+)
+
+
+class TestClientHello:
+    def test_roundtrip(self):
+        hello = ClientHello(
+            random=b"\x07" * 32,
+            server_name="www.facebook.com",
+            alpn=("h3", "h3-29"),
+            quic_transport_parameters=b"\x01\x02\x03",
+        )
+        decoded = decode_handshake(encode_handshake(hello))
+        assert isinstance(decoded, ClientHello)
+        assert decoded.server_name == "www.facebook.com"
+        assert decoded.alpn == ("h3", "h3-29")
+        assert decoded.quic_transport_parameters == b"\x01\x02\x03"
+        assert decoded.random == b"\x07" * 32
+
+    def test_no_optional_extensions(self):
+        hello = ClientHello(random=b"\x00" * 32, server_name="", alpn=())
+        decoded = decode_handshake(encode_handshake(hello))
+        assert decoded.server_name == ""
+        assert decoded.alpn == ()
+
+    def test_random_must_be_32_bytes(self):
+        with pytest.raises(TlsParseError):
+            ClientHello(random=b"\x00" * 31)
+
+    def test_idn_server_name(self):
+        hello = ClientHello(random=b"\x00" * 32, server_name="example.com")
+        assert decode_handshake(encode_handshake(hello)).server_name == "example.com"
+
+
+class TestServerHello:
+    def test_roundtrip(self):
+        hello = ServerHello(
+            random=b"\x09" * 32,
+            cipher_suite=0x1302,
+            quic_transport_parameters=b"\xaa\xbb",
+        )
+        decoded = decode_handshake(encode_handshake(hello))
+        assert isinstance(decoded, ServerHello)
+        assert decoded.cipher_suite == 0x1302
+        assert decoded.quic_transport_parameters == b"\xaa\xbb"
+
+
+class TestErrors:
+    def test_unknown_handshake_type(self):
+        raw = bytes([99, 0, 0, 2, 0, 0])
+        with pytest.raises(TlsParseError):
+            decode_handshake(raw)
+
+    def test_truncated(self):
+        raw = encode_handshake(ClientHello(random=b"\x00" * 32))
+        with pytest.raises(TlsParseError):
+            decode_handshake(raw[: len(raw) // 2])
+
+    def test_bad_legacy_version(self):
+        raw = bytearray(encode_handshake(ClientHello(random=b"\x00" * 32)))
+        raw[4:6] = b"\x03\x01"
+        with pytest.raises(TlsParseError):
+            decode_handshake(bytes(raw))
+
+
+class TestCertificate:
+    def test_roundtrip(self):
+        cert = Certificate(
+            subject="*.facebook.com",
+            issuer="DigiCert-ish",
+            subject_alt_names=("*.facebook.com", "*.fbcdn.net"),
+        )
+        assert Certificate.decode(cert.encode()) == cert
+
+    def test_covers_exact_and_wildcard(self):
+        cert = Certificate(
+            subject="example.com", subject_alt_names=("*.cdn.example.com",)
+        )
+        assert cert.covers("example.com")
+        assert cert.covers("a.cdn.example.com")
+        assert not cert.covers("example.org")
+
+    def test_suffix_match_appendix_c(self):
+        """The paper accepts any SAN under facebook.com/fbcdn.net/etc."""
+        cert = Certificate(
+            subject="star.c10r.facebook.com",
+            subject_alt_names=("*.whatsapp.com",),
+        )
+        assert cert.matches_any_suffix(("facebook.com",))
+        assert cert.matches_any_suffix(("whatsapp.com",))
+        assert not cert.matches_any_suffix(("google.com",))
+        # Suffix matching must respect label boundaries.
+        other = Certificate(subject="notfacebook.com")
+        assert not other.matches_any_suffix(("facebook.com",))
+
+    def test_missing_subject_rejected(self):
+        with pytest.raises(CertificateError):
+            Certificate.decode(b"")
+
+    def test_garbage_rejected(self):
+        with pytest.raises(CertificateError):
+            Certificate.decode(b"\x07\x00\x05abc")
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    server_name=st.from_regex(r"[a-z]{1,10}(\.[a-z]{1,8}){1,3}", fullmatch=True),
+    params=st.binary(min_size=0, max_size=64),
+)
+def test_client_hello_roundtrip_property(server_name, params):
+    hello = ClientHello(
+        random=b"\x31" * 32,
+        server_name=server_name,
+        quic_transport_parameters=params,
+    )
+    decoded = decode_handshake(encode_handshake(hello))
+    assert decoded.server_name == server_name
+    assert decoded.quic_transport_parameters == params
