@@ -1,0 +1,117 @@
+"""Observability overhead — the NullTracer path must stay within 5% of seed.
+
+The seed event pump was a bare ``while loop.step(): pass``; the instrumented
+``EventLoop.run`` adds one ``obs.enabled`` dispatch per run plus a per-event
+budget check.  This bench drives the same scale-0.1 telescope month through
+both pumps and asserts the disabled-observability path costs <5%.  A third
+arm with a live JSONL tracer + metrics registry quantifies the cost of
+turning everything on.  Results land in ``BENCH_obs.json`` at the repo root
+(pkts/sec simulated, overhead ratios) as the perf baseline for later PRs.
+"""
+
+import io
+import json
+import os
+import time
+
+from conftest import report
+
+from repro.obs import JsonlTracer, MetricsRegistry, Observability
+from repro.workloads.scenario import ScenarioConfig, build_scenario
+
+BENCH_PATH = os.path.join(os.path.dirname(__file__), os.pardir, "BENCH_obs.json")
+SIM_SCALE = 0.1
+ROUNDS = 3
+MAX_OVERHEAD = 0.05
+
+
+def _build(obs=None):
+    return build_scenario(ScenarioConfig(seed=11).scaled(SIM_SCALE), obs=obs)
+
+
+def _seed_pump(loop):
+    """Replica of the seed's ``run()`` hot loop (no obs dispatch)."""
+    while loop.step():
+        pass
+
+
+def _time_arm(pump_via_run, obs_factory=None):
+    """Best-of-ROUNDS wall time and packet throughput for one configuration."""
+    best = None
+    for _ in range(ROUNDS):
+        obs = obs_factory() if obs_factory is not None else None
+        scenario = _build(obs)
+        start = time.perf_counter()
+        if pump_via_run:
+            scenario.run()
+        else:
+            _seed_pump(scenario.loop)
+        elapsed = time.perf_counter() - start
+        events = scenario.loop.events_processed
+        delivered = scenario.network.stats.delivered
+        if best is None or elapsed < best[0]:
+            best = (elapsed, events, delivered)
+        if obs is not None:
+            obs.close()
+    return {
+        "seconds": round(best[0], 4),
+        "events": best[1],
+        "packets_delivered": best[2],
+        "events_per_sec": round(best[1] / best[0], 1),
+        "pkts_per_sec": round(best[2] / best[0], 1),
+    }
+
+
+def _traced_obs():
+    return Observability(
+        tracer=JsonlTracer(io.StringIO()), metrics=MetricsRegistry()
+    )
+
+
+def test_nulltracer_overhead_under_5pct(benchmark):
+    seed = benchmark.pedantic(
+        lambda: _time_arm(pump_via_run=False), rounds=1, iterations=1
+    )
+    disabled = _time_arm(pump_via_run=True)
+    traced = _time_arm(pump_via_run=True, obs_factory=_traced_obs)
+
+    overhead_disabled = disabled["seconds"] / seed["seconds"] - 1.0
+    overhead_traced = traced["seconds"] / seed["seconds"] - 1.0
+    results = {
+        "scale": SIM_SCALE,
+        "rounds": ROUNDS,
+        "seed_pump": seed,
+        "obs_disabled": disabled,
+        "obs_traced": traced,
+        "overhead_disabled": round(overhead_disabled, 4),
+        "overhead_traced": round(overhead_traced, 4),
+        "threshold": MAX_OVERHEAD,
+    }
+    with open(BENCH_PATH, "w") as fileobj:
+        json.dump(results, fileobj, indent=2, sort_keys=True)
+        fileobj.write("\n")
+    report(
+        "obs_overhead",
+        "Observability overhead (scale %.2f, best of %d):\n"
+        "  seed pump     %7.3fs  %10.0f ev/s\n"
+        "  obs disabled  %7.3fs  %10.0f ev/s  (%+.1f%%)\n"
+        "  obs traced    %7.3fs  %10.0f ev/s  (%+.1f%%)"
+        % (
+            SIM_SCALE,
+            ROUNDS,
+            seed["seconds"],
+            seed["events_per_sec"],
+            disabled["seconds"],
+            disabled["events_per_sec"],
+            100 * overhead_disabled,
+            traced["seconds"],
+            traced["events_per_sec"],
+            100 * overhead_traced,
+        ),
+    )
+
+    assert disabled["events"] == seed["events"], "obs must not change the sim"
+    assert overhead_disabled < MAX_OVERHEAD, (
+        "NullTracer path costs %.1f%% vs seed (budget 5%%)"
+        % (100 * overhead_disabled)
+    )

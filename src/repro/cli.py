@@ -1,20 +1,26 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Four commands cover the toolchain end to end:
+Five commands cover the toolchain end to end:
 
 * ``simulate`` — build a telescope measurement month and write the capture
   to a standard pcap file;
 * ``classify`` — run the sanitization pipeline over a pcap and print what
-  was kept and removed;
+  was kept and removed (``--json`` for machine-readable stats);
 * ``analyze``  — reproduce the paper's tables from a pcap;
 * ``probe``    — run the active-measurement experiments against a
   simulated deployment (host-ID enumeration, LB-type inference,
-  migration survival).
+  migration survival);
+* ``stats``    — pretty-print a metrics snapshot written by ``--metrics``.
+
+``simulate``/``classify``/``analyze``/``probe`` all accept ``--trace
+FILE.qlog.jsonl`` (structured event stream, one JSON object per line) and
+``--metrics FILE.json`` (counter/gauge/histogram/timer snapshot).
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
 from repro.core.packet_mix import TABLE3_ROWS, packet_mix, top_length_signatures
@@ -25,6 +31,7 @@ from repro.core.timing import timing_profiles
 from repro.core.versions import TABLE2_ROWS, table2
 from repro.inetdata.asdb import AsDatabase, AsEntry
 from repro.netstack.pcap import read_pcap
+from repro.obs import JsonlTracer, MetricsRegistry, Observability, load_snapshot
 from repro.telescope.acknowledged import AcknowledgedScanners
 from repro.telescope.classify import ClassifiedCapture, classify_capture
 from repro.workloads.scenario import (
@@ -35,6 +42,43 @@ from repro.workloads.scenario import (
 )
 
 ORIGINS = ("Cloudflare", "Facebook", "Google", "Remaining")
+
+
+# ---------------------------------------------------------------------------
+# Observability plumbing
+# ---------------------------------------------------------------------------
+
+
+def _add_obs_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--trace",
+        metavar="FILE",
+        help="write a qlog-style JSONL event trace to FILE",
+    )
+    parser.add_argument(
+        "--metrics",
+        metavar="FILE",
+        help="write a metrics snapshot (counters/histograms/timers) to FILE",
+    )
+
+
+def _make_obs(args: argparse.Namespace, force_metrics: bool = False) -> Observability:
+    """Build the Observability bundle the command threads through the stack.
+
+    ``force_metrics`` attaches a registry even without ``--metrics`` (used
+    by ``classify --json``, whose output embeds the snapshot).
+    """
+    tracer = JsonlTracer.to_path(args.trace) if getattr(args, "trace", None) else None
+    wants_metrics = force_metrics or getattr(args, "metrics", None)
+    metrics = MetricsRegistry() if wants_metrics else None
+    return Observability(tracer=tracer, metrics=metrics)
+
+
+def _finish_obs(args: argparse.Namespace, obs: Observability) -> None:
+    """Flush the trace sink and persist the metrics snapshot, if requested."""
+    obs.close()
+    if getattr(args, "metrics", None) and obs.metrics is not None:
+        obs.metrics.write(args.metrics)
 
 
 def _default_asdb() -> AsDatabase:
@@ -53,10 +97,21 @@ def _default_acknowledged() -> AcknowledgedScanners:
     return scanners
 
 
-def _load_capture(path: str) -> ClassifiedCapture:
+def _load_capture(path: str, obs: Observability | None = None) -> ClassifiedCapture:
+    obs = obs or Observability()
+    if obs.metrics is not None:
+        with obs.metrics.time_block("read_pcap"):
+            records = read_pcap(path)
+        with obs.metrics.time_block("classify"):
+            return classify_capture(
+                records,
+                asdb=_default_asdb(),
+                acknowledged=_default_acknowledged(),
+                obs=obs,
+            )
     records = read_pcap(path)
     return classify_capture(
-        records, asdb=_default_asdb(), acknowledged=_default_acknowledged()
+        records, asdb=_default_asdb(), acknowledged=_default_acknowledged(), obs=obs
     )
 
 
@@ -73,10 +128,23 @@ def cmd_simulate(args: argparse.Namespace) -> int:
     )
     config = config.scaled(args.scale)
     print("Simulating %d (scale %.2f, seed %d)…" % (args.year, args.scale, args.seed))
-    scenario = build_scenario(config)
-    scenario.run()
-    with open(args.output, "wb") as fileobj:
-        scenario.telescope.write_pcap(fileobj)
+    obs = _make_obs(args)
+    try:
+        if obs.metrics is not None:
+            with obs.metrics.time_block("build_scenario"):
+                scenario = build_scenario(config, obs=obs)
+            with obs.metrics.time_block("simulate"):
+                scenario.run()
+            with obs.metrics.time_block("write_pcap"):
+                with open(args.output, "wb") as fileobj:
+                    scenario.telescope.write_pcap(fileobj)
+        else:
+            scenario = build_scenario(config, obs=obs)
+            scenario.run()
+            with open(args.output, "wb") as fileobj:
+                scenario.telescope.write_pcap(fileobj)
+    finally:
+        _finish_obs(args, obs)
     print(
         "Wrote %d captured packets to %s"
         % (len(scenario.telescope.records), args.output)
@@ -85,8 +153,30 @@ def cmd_simulate(args: argparse.Namespace) -> int:
 
 
 def cmd_classify(args: argparse.Namespace) -> int:
-    capture = _load_capture(args.pcap)
+    obs = _make_obs(args, force_metrics=args.json)
+    try:
+        capture = _load_capture(args.pcap, obs=obs)
+    finally:
+        _finish_obs(args, obs)
     stats = capture.stats
+    if args.json:
+        payload = {
+            "pcap": args.pcap,
+            "stats": {
+                "total_records": stats.total_records,
+                "non_udp": stats.non_udp,
+                "non_port_443": stats.non_port_443,
+                "failed_dissection": stats.failed_dissection,
+                "acknowledged_scanner": stats.acknowledged_scanner,
+                "backscatter": stats.backscatter,
+                "scans": stats.scans,
+                "removed": stats.removed,
+                "removed_share": stats.removed_share,
+            },
+            "metrics": obs.metrics.snapshot(),
+        }
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
     print(
         render_table(
             ["stage", "packets"],
@@ -107,7 +197,18 @@ def cmd_classify(args: argparse.Namespace) -> int:
 
 
 def cmd_analyze(args: argparse.Namespace) -> int:
-    capture = _load_capture(args.pcap)
+    obs = _make_obs(args)
+    try:
+        capture = _load_capture(args.pcap, obs=obs)
+        if obs.metrics is not None:
+            with obs.metrics.time_block("analyze"):
+                return _analyze_tables(args, capture)
+        return _analyze_tables(args, capture)
+    finally:
+        _finish_obs(args, obs)
+
+
+def _analyze_tables(args: argparse.Namespace, capture: ClassifiedCapture) -> int:
     wanted = set(args.tables) if args.tables else {"1", "2", "3", "4"}
 
     if "1" in wanted:
@@ -202,19 +303,32 @@ def cmd_analyze(args: argparse.Namespace) -> int:
 
 
 def cmd_probe(args: argparse.Namespace) -> int:
-    from repro.active.lb_inference import classify_lb, follow_up_delay
-    from repro.active.migration import migration_probe
     from repro.active.prober import Prober
-    from repro.core.l7lb import convergence_curve
     from repro.workloads.scenario import build_lb_lab
 
+    obs = _make_obs(args)
     lab = build_lb_lab(
         google_hosts=args.hosts,
         facebook_hosts=args.hosts,
         quic_lb_hosts=args.hosts,
         seed=args.seed,
+        obs=obs,
     )
     prober = Prober(lab.loop, lab.network)
+    try:
+        if obs.metrics is not None:
+            with obs.metrics.time_block("probe.%s" % args.experiment):
+                return _run_probe(args, lab, prober)
+        return _run_probe(args, lab, prober)
+    finally:
+        _finish_obs(args, obs)
+
+
+def _run_probe(args: argparse.Namespace, lab, prober) -> int:
+    from repro.active.lb_inference import classify_lb, follow_up_delay
+    from repro.active.migration import migration_probe
+    from repro.core.l7lb import convergence_curve
+
     if args.experiment == "enumerate":
         vip = lab.vips("Facebook")[0]
         ids = prober.enumerate_host_ids(vip, args.handshakes)
@@ -251,6 +365,63 @@ def cmd_probe(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_stats(args: argparse.Namespace) -> int:
+    """Pretty-print a metrics snapshot written by ``--metrics``."""
+    snapshot = load_snapshot(args.metrics_file)
+    if not any(
+        snapshot.get(section)
+        for section in ("timers", "counters", "gauges", "histograms")
+    ):
+        print("%s: no metrics sections found (not a --metrics snapshot?)"
+              % args.metrics_file)
+        return 1
+
+    def label_text(names, key):
+        if not names:
+            return "-"
+        values = key.split("|") if key else [""] * len(names)
+        return ", ".join("%s=%s" % (n, v) for n, v in zip(names, values))
+
+    timers = snapshot.get("timers", {})
+    if timers:
+        print(
+            render_table(
+                ["stage", "seconds", "calls"],
+                [
+                    [stage, "%.3f" % entry["seconds"], entry["calls"]]
+                    for stage, entry in sorted(timers.items())
+                ],
+                title="Stage timings",
+            )
+        )
+        print()
+    for section, kind in (("counters", "Counters"), ("gauges", "Gauges")):
+        metrics = snapshot.get(section, {})
+        rows = [
+            [name, label_text(body["label_names"], key), value]
+            for name, body in sorted(metrics.items())
+            for key, value in body["values"].items()
+        ]
+        if rows:
+            print(render_table(["metric", "labels", "value"], rows, title=kind))
+            print()
+    for name, body in sorted(snapshot.get("histograms", {}).items()):
+        for key, series in body["values"].items():
+            title = name
+            labels = label_text(body["label_names"], key)
+            if labels != "-":
+                title += " {%s}" % labels
+            print(
+                render_histogram(
+                    list(zip(body["buckets"], series["counts"])),
+                    width=30,
+                    title=title,
+                )
+            )
+            print()
+    return 0
+
+
 # ---------------------------------------------------------------------------
 # Entry point
 # ---------------------------------------------------------------------------
@@ -268,10 +439,17 @@ def build_parser() -> argparse.ArgumentParser:
     simulate.add_argument("--year", type=int, choices=(2021, 2022), default=2022)
     simulate.add_argument("--scale", type=float, default=0.25)
     simulate.add_argument("--seed", type=int, default=20220101)
+    _add_obs_flags(simulate)
     simulate.set_defaults(func=cmd_simulate)
 
     classify = sub.add_parser("classify", help="sanitize a pcap, print stats")
     classify.add_argument("pcap")
+    classify.add_argument(
+        "--json",
+        action="store_true",
+        help="emit machine-readable stats (includes the metrics snapshot)",
+    )
+    _add_obs_flags(classify)
     classify.set_defaults(func=cmd_classify)
 
     analyze = sub.add_parser("analyze", help="reproduce tables from a pcap")
@@ -282,6 +460,7 @@ def build_parser() -> argparse.ArgumentParser:
         choices=("1", "2", "3", "4", "rto", "lengths"),
         help="which outputs to print (default: 1 2 3 4)",
     )
+    _add_obs_flags(analyze)
     analyze.set_defaults(func=cmd_analyze)
 
     probe = sub.add_parser("probe", help="run active experiments against a lab")
@@ -291,7 +470,12 @@ def build_parser() -> argparse.ArgumentParser:
     probe.add_argument("--hosts", type=int, default=12)
     probe.add_argument("--handshakes", type=int, default=500)
     probe.add_argument("--seed", type=int, default=7)
+    _add_obs_flags(probe)
     probe.set_defaults(func=cmd_probe)
+
+    stats = sub.add_parser("stats", help="pretty-print a --metrics snapshot")
+    stats.add_argument("metrics_file", help="metrics JSON written by --metrics")
+    stats.set_defaults(func=cmd_stats)
     return parser
 
 

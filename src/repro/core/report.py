@@ -18,8 +18,18 @@ def render_table(
     rows: Iterable[Sequence],
     title: str = "",
 ) -> str:
-    """Render an aligned ASCII table."""
+    """Render an aligned ASCII table.
+
+    Every row must have exactly one cell per header; a ragged row raises
+    ``ValueError`` instead of silently misaligning columns.
+    """
     formatted = [[format_cell(v) for v in row] for row in rows]
+    for index, row in enumerate(formatted):
+        if len(row) != len(headers):
+            raise ValueError(
+                "row %d has %d cells, expected %d (headers: %r)"
+                % (index, len(row), len(headers), list(headers))
+            )
     widths = [len(h) for h in headers]
     for row in formatted:
         for i, cell in enumerate(row):

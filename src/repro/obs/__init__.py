@@ -1,0 +1,87 @@
+"""Observability: qlog-style tracing plus a metrics registry.
+
+One :class:`Observability` bundle is threaded through every layer of the
+simulator — event loop, network, load balancers, server engines, the
+telescope, and the sanitization pipeline.  The default :data:`NULL_OBS`
+carries an inert tracer and no registry, so uninstrumented runs pay only
+a falsy attribute check on hot paths.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    load_snapshot,
+)
+from repro.obs.trace import (
+    CAT_CONNECTIVITY,
+    CAT_LB,
+    CAT_NET,
+    CAT_RECOVERY,
+    CAT_SANITIZE,
+    CAT_SECURITY,
+    CAT_SIM,
+    CAT_TELESCOPE,
+    CAT_TRANSPORT,
+    CAT_WORKLOAD,
+    NULL_TRACER,
+    JsonlTracer,
+    NullTracer,
+    Tracer,
+    read_trace,
+)
+
+__all__ = [
+    "Observability",
+    "NULL_OBS",
+    "Tracer",
+    "NullTracer",
+    "JsonlTracer",
+    "NULL_TRACER",
+    "read_trace",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "load_snapshot",
+    "CAT_CONNECTIVITY",
+    "CAT_LB",
+    "CAT_NET",
+    "CAT_RECOVERY",
+    "CAT_SANITIZE",
+    "CAT_SECURITY",
+    "CAT_SIM",
+    "CAT_TELESCOPE",
+    "CAT_TRANSPORT",
+    "CAT_WORKLOAD",
+]
+
+
+class Observability:
+    """A tracer and an optional metrics registry, passed down together."""
+
+    __slots__ = ("tracer", "metrics")
+
+    def __init__(
+        self,
+        tracer: Optional[Tracer] = None,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> None:
+        self.tracer = NULL_TRACER if tracer is None else tracer
+        self.metrics = metrics
+
+    @property
+    def enabled(self) -> bool:
+        return self.tracer.enabled or self.metrics is not None
+
+    def close(self) -> None:
+        self.tracer.close()
+
+
+#: Shared inert bundle: falsy tracer, no registry.
+NULL_OBS = Observability()

@@ -1,0 +1,255 @@
+"""Named counters, gauges, histograms, and stage timers.
+
+A :class:`MetricsRegistry` is the numeric half of the observability layer
+(the tracer is the narrative half).  Instruments support low-cardinality
+labels (origin AS, packet type, drop reason) stored as value tuples, so
+the hot-path cost of an increment is one tuple hash and one dict add.
+Two APIs coexist:
+
+* ``counter.inc(1, outcome="delivered", device="telescope")`` — readable,
+  used from cold paths;
+* ``counter.inc_key(("delivered", "telescope"))`` — the hot-path form,
+  skipping kwargs construction.
+
+``snapshot()`` renders everything to plain dicts (JSON-ready); the CLI's
+``repro stats`` pretty-prints such snapshots, and benches persist them as
+machine-readable baselines.  :meth:`MetricsRegistry.time_block` is a
+context manager accumulating wall-clock seconds per pipeline stage
+(simulate, classify, analyze), which is how pkts/sec regressions get a
+number attached.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from contextlib import contextmanager
+from typing import Dict, Iterator, Optional, Sequence, Tuple
+
+LabelKey = Tuple[str, ...]
+
+#: Join character for label values in snapshot keys ("delivered|telescope").
+KEY_SEP = "|"
+
+
+def _key_from_labels(label_names: Sequence[str], labels: dict) -> LabelKey:
+    if set(labels) != set(label_names):
+        raise ValueError(
+            "expected labels %r, got %r" % (tuple(label_names), tuple(labels))
+        )
+    return tuple(str(labels[name]) for name in label_names)
+
+
+class Counter:
+    """Monotonic sum per label tuple."""
+
+    __slots__ = ("name", "label_names", "values")
+
+    def __init__(self, name: str, label_names: Sequence[str] = ()) -> None:
+        self.name = name
+        self.label_names = tuple(label_names)
+        self.values: Dict[LabelKey, float] = {}
+
+    def inc(self, amount: float = 1, **labels) -> None:
+        self.inc_key(_key_from_labels(self.label_names, labels), amount)
+
+    def inc_key(self, key: LabelKey = (), amount: float = 1) -> None:
+        self.values[key] = self.values.get(key, 0) + amount
+
+    def value(self, **labels) -> float:
+        return self.values.get(_key_from_labels(self.label_names, labels), 0)
+
+    def total(self) -> float:
+        return sum(self.values.values())
+
+    def sum_where(self, **labels) -> float:
+        """Sum over label tuples matching the given subset of labels."""
+        positions = {self.label_names.index(k): str(v) for k, v in labels.items()}
+        return sum(
+            value
+            for key, value in self.values.items()
+            if all(key[i] == v for i, v in positions.items())
+        )
+
+
+class Gauge:
+    """Last-written value per label tuple."""
+
+    __slots__ = ("name", "label_names", "values")
+
+    def __init__(self, name: str, label_names: Sequence[str] = ()) -> None:
+        self.name = name
+        self.label_names = tuple(label_names)
+        self.values: Dict[LabelKey, float] = {}
+
+    def set(self, value: float, **labels) -> None:
+        self.values[_key_from_labels(self.label_names, labels)] = value
+
+    def set_key(self, key: LabelKey, value: float) -> None:
+        self.values[key] = value
+
+    def value(self, **labels) -> float:
+        return self.values.get(_key_from_labels(self.label_names, labels), 0)
+
+
+class _HistogramSeries:
+    __slots__ = ("counts", "count", "sum")
+
+    def __init__(self, bucket_count: int) -> None:
+        self.counts = [0] * bucket_count  # one per bound, plus +Inf overflow
+        self.count = 0
+        self.sum = 0.0
+
+
+class Histogram:
+    """Fixed-bucket histogram; the last bucket is the +Inf overflow."""
+
+    __slots__ = ("name", "label_names", "bounds", "series")
+
+    def __init__(
+        self,
+        name: str,
+        bounds: Sequence[float],
+        label_names: Sequence[str] = (),
+    ) -> None:
+        if not bounds or list(bounds) != sorted(bounds):
+            raise ValueError("histogram bounds must be a sorted, non-empty list")
+        self.name = name
+        self.label_names = tuple(label_names)
+        self.bounds = tuple(float(b) for b in bounds)
+        self.series: Dict[LabelKey, _HistogramSeries] = {}
+
+    def observe(self, value: float, **labels) -> None:
+        self.observe_key(_key_from_labels(self.label_names, labels), value)
+
+    def observe_key(self, key: LabelKey, value: float) -> None:
+        series = self.series.get(key)
+        if series is None:
+            series = self.series[key] = _HistogramSeries(len(self.bounds) + 1)
+        index = len(self.bounds)
+        for i, bound in enumerate(self.bounds):
+            if value <= bound:
+                index = i
+                break
+        series.counts[index] += 1
+        series.count += 1
+        series.sum += value
+
+    def bucket_labels(self) -> list:
+        return ["<=%g" % b for b in self.bounds] + ["+Inf"]
+
+
+class MetricsRegistry:
+    """Get-or-create home for every instrument, plus stage timers."""
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+        self._timers: Dict[str, list] = {}  # stage -> [seconds, calls]
+
+    # -- instrument accessors -------------------------------------------------
+    def counter(self, name: str, label_names: Sequence[str] = ()) -> Counter:
+        return self._get(self._counters, Counter, name, label_names)
+
+    def gauge(self, name: str, label_names: Sequence[str] = ()) -> Gauge:
+        return self._get(self._gauges, Gauge, name, label_names)
+
+    def histogram(
+        self,
+        name: str,
+        bounds: Sequence[float],
+        label_names: Sequence[str] = (),
+    ) -> Histogram:
+        existing = self._histograms.get(name)
+        if existing is not None:
+            if existing.label_names != tuple(label_names):
+                raise ValueError(
+                    "histogram %r re-registered with labels %r != %r"
+                    % (name, tuple(label_names), existing.label_names)
+                )
+            return existing
+        created = Histogram(name, bounds, label_names)
+        self._histograms[name] = created
+        return created
+
+    def _get(self, store, cls, name, label_names):
+        existing = store.get(name)
+        if existing is not None:
+            if existing.label_names != tuple(label_names):
+                raise ValueError(
+                    "%s %r re-registered with labels %r != %r"
+                    % (cls.__name__, name, tuple(label_names), existing.label_names)
+                )
+            return existing
+        created = cls(name, label_names)
+        store[name] = created
+        return created
+
+    # -- stage timing ----------------------------------------------------------
+    @contextmanager
+    def time_block(self, stage: str) -> Iterator[None]:
+        """Accumulate the wall-clock duration of a pipeline stage."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - start
+            entry = self._timers.setdefault(stage, [0.0, 0])
+            entry[0] += elapsed
+            entry[1] += 1
+
+    def timer_seconds(self, stage: str) -> float:
+        return self._timers.get(stage, [0.0, 0])[0]
+
+    # -- export ----------------------------------------------------------------
+    def snapshot(self) -> dict:
+        """Everything, as JSON-ready plain dicts."""
+        return {
+            "counters": {
+                c.name: {
+                    "label_names": list(c.label_names),
+                    "values": {KEY_SEP.join(k): v for k, v in sorted(c.values.items())},
+                }
+                for c in self._counters.values()
+            },
+            "gauges": {
+                g.name: {
+                    "label_names": list(g.label_names),
+                    "values": {KEY_SEP.join(k): v for k, v in sorted(g.values.items())},
+                }
+                for g in self._gauges.values()
+            },
+            "histograms": {
+                h.name: {
+                    "label_names": list(h.label_names),
+                    "buckets": h.bucket_labels(),
+                    "values": {
+                        KEY_SEP.join(k): {
+                            "counts": list(s.counts),
+                            "count": s.count,
+                            "sum": s.sum,
+                        }
+                        for k, s in sorted(h.series.items())
+                    },
+                }
+                for h in self._histograms.values()
+            },
+            "timers": {
+                stage: {"seconds": seconds, "calls": calls}
+                for stage, (seconds, calls) in sorted(self._timers.items())
+            },
+        }
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        return json.dumps(self.snapshot(), indent=indent, sort_keys=True)
+
+    def write(self, path: str) -> None:
+        with open(path, "w") as fileobj:
+            fileobj.write(self.to_json() + "\n")
+
+
+def load_snapshot(path: str) -> dict:
+    """Read back a snapshot written by :meth:`MetricsRegistry.write`."""
+    with open(path) as fileobj:
+        return json.load(fileobj)

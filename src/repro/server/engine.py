@@ -22,6 +22,13 @@ from dataclasses import dataclass, field
 from typing import Callable, Optional
 
 from repro.netstack.udp import UdpDatagram
+from repro.obs import NULL_OBS, Observability
+from repro.obs.trace import (
+    CAT_CONNECTIVITY,
+    CAT_RECOVERY,
+    CAT_SECURITY,
+    CAT_TRANSPORT,
+)
 from repro.quic.cid.base import CidContext, RandomScheme
 from repro.quic.cid.google import GoogleEchoScheme
 from repro.quic.crypto.suites import PacketProtection, ProtectionError, suite_by_name
@@ -137,6 +144,7 @@ class QuicServerEngine:
         worker_id: int = 0,
         process_id: int = 0,
         certificate: Certificate | None = None,
+        obs: Observability | None = None,
     ) -> None:
         self.profile = profile
         self.loop = loop
@@ -147,6 +155,20 @@ class QuicServerEngine:
         self.process_id = process_id
         self.certificate = certificate
         self.stats = EngineStats()
+        obs = obs or NULL_OBS
+        # Per-worker scoped tracer: every event carries profile/host/worker.
+        self._tracer = (
+            obs.tracer.scoped(
+                profile=profile.name, host=host_id, worker=worker_id
+            )
+            if obs.tracer.enabled
+            else obs.tracer
+        )
+        self._m_events = (
+            obs.metrics.counter("engine.events", ("event", "profile"))
+            if obs.metrics is not None
+            else None
+        )
         self._suite = suite_by_name(profile.protection_suite)
         #: Connections addressable by the server-chosen CID.
         self._by_scid: dict[bytes, ServerConnection] = {}
@@ -168,6 +190,10 @@ class QuicServerEngine:
         # _by_scid may hold several aliases per connection (rotated CIDs).
         return len(self._by_origin)
 
+    def _count(self, event: str) -> None:
+        if self._m_events is not None:
+            self._m_events.inc_key((event, self.profile.name))
+
     def on_datagram(self, datagram: UdpDatagram, now: float) -> None:
         """Entry point: one UDP datagram addressed to this worker."""
         if datagram.payload and not datagram.payload[0] & FORM_BIT:
@@ -177,8 +203,20 @@ class QuicServerEngine:
             packets = decode_datagram(datagram.payload)
         except PacketParseError:
             self.stats.non_quic_ignored += 1
+            self._count("non_quic_ignored")
             return
         parsed, _raw = packets[0]
+        if self._tracer.enabled:
+            self._tracer.emit(
+                CAT_TRANSPORT,
+                "packet_received",
+                time=now,
+                packet_type=parsed.packet_type.name.lower(),
+                dcid=parsed.dcid.hex(),
+                src_ip=datagram.src_ip,
+                bytes=len(datagram.payload),
+            )
+        self._count("packets_received")
 
         if parsed.packet_type is PacketType.VERSION_NEGOTIATION:
             return  # servers never act on VN
@@ -203,6 +241,11 @@ class QuicServerEngine:
         ):
             self._drop_connection(conn)
             self.stats.expired += 1
+            self._count("connections_expired")
+            if self._tracer.enabled:
+                self._tracer.emit(
+                    CAT_CONNECTIVITY, "connection_expired", time=now, cid=conn.scid.hex()
+                )
             if parsed.packet_type is PacketType.INITIAL:
                 self._on_new_initial(datagram, parsed, now)
             return
@@ -210,11 +253,21 @@ class QuicServerEngine:
             # RFC 9000 §5.2: inconsistent packets for a known CID are
             # silently discarded.  This is the Appendix-D observable.
             self.stats.discarded_inconsistent += 1
+            self._count("discarded_inconsistent")
             return
         conn.last_active = now
         if conn.state is ConnState.AWAIT_CLIENT:
             conn.state = ConnState.ESTABLISHED
             self.stats.established += 1
+            self._count("connections_established")
+            if self._tracer.enabled:
+                self._tracer.emit(
+                    CAT_CONNECTIVITY,
+                    "connection_established",
+                    time=now,
+                    cid=conn.scid.hex(),
+                    retransmits=conn.retransmits_done,
+                )
             if conn.retransmit_event is not None:
                 conn.retransmit_event.cancel()
                 conn.retransmit_event = None
@@ -261,6 +314,18 @@ class QuicServerEngine:
         self._by_scid[scid] = conn
         self._by_origin[origin_key] = conn
         self.stats.connections_created += 1
+        self._count("connections_created")
+        if self._tracer.enabled:
+            self._tracer.emit(
+                CAT_CONNECTIVITY,
+                "connection_created",
+                time=now,
+                cid=scid.hex(),
+                client_cid=parsed.scid.hex(),
+                client_ip=datagram.src_ip,
+                version="0x%08x" % parsed.version,
+                coalesced=conn.coalesced,
+            )
         self._send_flight(conn, datagram)
         self._schedule_retransmit(conn, datagram, self.profile.initial_rto)
 
@@ -301,6 +366,15 @@ class QuicServerEngine:
             conn.client_ip = datagram.src_ip
             conn.client_port = datagram.src_port
             self.stats.migrations_accepted += 1
+            self._count("migrations_accepted")
+            if self._tracer.enabled:
+                self._tracer.emit(
+                    CAT_CONNECTIVITY,
+                    "migration_accepted",
+                    time=now,
+                    cid=parsed.dcid.hex(),
+                    new_ip=datagram.src_ip,
+                )
         conn.last_active = now
         self._send_short(conn, [PingFrame()], datagram)
 
@@ -318,6 +392,15 @@ class QuicServerEngine:
         conn.issued_cids.append(new_cid)
         self._by_scid[new_cid] = conn
         self.stats.new_cids_issued += 1
+        self._count("new_cids_issued")
+        if self._tracer.enabled:
+            self._tracer.emit(
+                CAT_CONNECTIVITY,
+                "new_cid_issued",
+                time=self.loop.now,
+                cid=conn.scid.hex(),
+                new_cid=new_cid.hex(),
+            )
         frame = NewConnectionIdFrame(
             sequence_number=len(conn.issued_cids),
             retire_prior_to=0,
@@ -362,6 +445,15 @@ class QuicServerEngine:
         token = self.rng.getrandbits(128).to_bytes(16, "big")
         self._reply(request, request.dst_ip, bytes(filler) + token)
         self.stats.stateless_resets_sent += 1
+        self._count("stateless_resets_sent")
+        if self._tracer.enabled:
+            self._tracer.emit(
+                CAT_SECURITY,
+                "stateless_reset_sent",
+                time=self.loop.now,
+                dcid=dcid.hex(),
+                dst_ip=request.src_ip,
+            )
 
     def _schedule_retransmit(
         self, conn: ServerConnection, datagram: UdpDatagram, timeout: float
@@ -372,9 +464,28 @@ class QuicServerEngine:
             if conn.retransmits_done >= conn.max_retransmits:
                 conn.state = ConnState.CLOSED
                 self._drop_connection(conn)
+                self._count("flights_abandoned")
+                if self._tracer.enabled:
+                    self._tracer.emit(
+                        CAT_RECOVERY,
+                        "flight_abandoned",
+                        time=self.loop.now,
+                        cid=conn.scid.hex(),
+                        retransmits=conn.retransmits_done,
+                    )
                 return
             conn.retransmits_done += 1
             self.stats.retransmissions += 1
+            self._count("retransmissions")
+            if self._tracer.enabled:
+                self._tracer.emit(
+                    CAT_RECOVERY,
+                    "rto_fired",
+                    time=self.loop.now,
+                    cid=conn.scid.hex(),
+                    attempt=conn.retransmits_done,
+                    timeout=round(timeout, 6),
+                )
             self._send_flight(conn, datagram)
             self._schedule_retransmit(conn, datagram, timeout * self.profile.rto_backoff)
 
@@ -462,6 +573,17 @@ class QuicServerEngine:
             self._reply(request, conn.vip, first)
             self._reply(request, conn.vip, second)
         self.stats.flights_sent += 1
+        self._count("flights_sent")
+        if self._tracer.enabled:
+            self._tracer.emit(
+                CAT_TRANSPORT,
+                "packet_sent",
+                time=self.loop.now,
+                kind="handshake_flight",
+                cid=conn.scid.hex(),
+                dst_ip=request.src_ip,
+                coalesced=conn.coalesced,
+            )
 
     def _send_version_negotiation(self, request: UdpDatagram, parsed) -> None:
         packet = VersionNegotiationPacket(
@@ -471,6 +593,15 @@ class QuicServerEngine:
         )
         self._reply(request, request.dst_ip, encode_version_negotiation(packet))
         self.stats.version_negotiations += 1
+        self._count("version_negotiations")
+        if self._tracer.enabled:
+            self._tracer.emit(
+                CAT_SECURITY,
+                "version_negotiation_sent",
+                time=self.loop.now,
+                offered="0x%08x" % parsed.version,
+                dst_ip=request.src_ip,
+            )
 
     def _send_retry(self, request: UdpDatagram, parsed) -> None:
         context = CidContext(
@@ -486,6 +617,15 @@ class QuicServerEngine:
         )
         self._reply(request, request.dst_ip, encode_retry(packet))
         self.stats.retries_sent += 1
+        self._count("retries_sent")
+        if self._tracer.enabled:
+            self._tracer.emit(
+                CAT_SECURITY,
+                "retry_sent",
+                time=self.loop.now,
+                scid=scid.hex(),
+                dst_ip=request.src_ip,
+            )
 
     def _reply(self, request: UdpDatagram, vip: int, payload: bytes) -> None:
         self._send(

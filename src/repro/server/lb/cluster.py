@@ -14,6 +14,7 @@ import random
 
 from repro.netstack.addr import Prefix
 from repro.netstack.udp import UdpDatagram
+from repro.obs import NULL_OBS, Observability
 from repro.server.lb.l4lb import L4LoadBalancer
 from repro.server.lb.l7lb import L7LbHost
 from repro.server.lb.maglev import MaglevTable, flow_key
@@ -40,8 +41,10 @@ class FrontendCluster(Device):
         certificate: Certificate | None = None,
         country: str = "US",
         maglev_table_size: int = 1021,
+        obs: Observability | None = None,
     ) -> None:
         super().__init__(name)
+        obs = obs or NULL_OBS
         if isinstance(prefix, str):
             prefix = Prefix.parse(prefix)
         if vip_count > prefix.size - 2:
@@ -64,6 +67,7 @@ class FrontendCluster(Device):
                 send=self._send_reply,
                 certificate=certificate,
                 address=prefix.host(prefix.size - 2) ,  # shared DSR address
+                obs=obs,
             )
             for i in range(l7_host_count)
         ]
@@ -80,6 +84,7 @@ class FrontendCluster(Device):
                 maglev=shared_maglev,
                 cid_length=profile.cid_scheme.length,
                 quic_lb_config=quic_lb_config,
+                obs=obs,
             )
             for i in range(l4_count)
         ]

@@ -17,6 +17,8 @@ from dataclasses import dataclass, field
 
 from repro.netstack import encap
 from repro.netstack.udp import UdpDatagram
+from repro.obs import NULL_OBS, Observability
+from repro.obs.trace import CAT_LB
 from repro.quic.cid import quic_lb
 from repro.quic.cid.quic_lb import QuicLbConfig, QuicLbError
 from repro.quic.packet import FORM_BIT, PacketParseError, parse_long_header
@@ -48,9 +50,17 @@ class L4LoadBalancer:
         maglev: MaglevTable | None = None,
         cid_length: int = 8,
         quic_lb_config: QuicLbConfig | None = None,
+        obs: Observability | None = None,
     ) -> None:
         if not hosts:
             raise ValueError("L4LB needs at least one L7 host")
+        obs = obs or NULL_OBS
+        self._tracer = obs.tracer
+        self._m_dispatch = (
+            obs.metrics.counter("lb.dispatch", ("lb", "routing"))
+            if obs.metrics is not None
+            else None
+        )
         self.name = name
         self.address = address
         self.hosts = hosts
@@ -121,6 +131,19 @@ class L4LoadBalancer:
         tunneled = encap.encapsulate(datagram, self.address, host.address)
         self.stats.forwarded += 1
         self.stats.tunnel_bytes += len(tunneled)
+        if self._m_dispatch is not None:
+            self._m_dispatch.inc_key((self.name, self.routing))
+        if self._tracer.enabled:
+            self._tracer.emit(
+                CAT_LB,
+                "dispatch",
+                time=now,
+                lb=self.name,
+                routing=self.routing,
+                host_id=host.host_id,
+                dcid=dcid.hex(),
+                src_ip=datagram.src_ip,
+            )
         _src, _dst, inner = encap.decapsulate(tunneled)
         host.handle(inner, dcid, now)
         return host

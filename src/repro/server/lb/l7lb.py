@@ -14,6 +14,7 @@ import random
 from typing import Callable
 
 from repro.netstack.udp import UdpDatagram
+from repro.obs import NULL_OBS, Observability
 from repro.server.engine import QuicServerEngine
 from repro.server.profiles import ROUTE_CID, ServerProfile
 from repro.simnet.eventloop import EventLoop
@@ -32,6 +33,7 @@ class L7LbHost:
         send: Callable[[UdpDatagram], None],
         certificate: Certificate | None = None,
         address: int = 0,
+        obs: Observability | None = None,
     ) -> None:
         self.host_id = host_id
         self.profile = profile
@@ -39,6 +41,7 @@ class L7LbHost:
         self._loop = loop
         self._send = send
         self._certificate = certificate
+        self._obs = obs or NULL_OBS
         # Workers are materialized lazily: large clusters have hundreds of
         # hosts and most never receive a packet in a given scenario.
         self._workers: dict[int, QuicServerEngine] = {}
@@ -61,6 +64,7 @@ class L7LbHost:
                 worker_id=worker_id,
                 process_id=self.host_id & 1,
                 certificate=self._certificate,
+                obs=self._obs,
             )
             self._workers[worker_id] = engine
         return engine

@@ -11,6 +11,7 @@ import random
 
 from repro.netstack.addr import Prefix
 from repro.netstack.udp import UdpDatagram
+from repro.obs import Observability
 from repro.server.lb.l7lb import L7LbHost
 from repro.server.profiles import ServerProfile
 from repro.simnet.eventloop import EventLoop
@@ -31,6 +32,7 @@ class SimpleQuicServer(Device):
         host_id: int = 0,
         certificate: Certificate | None = None,
         prefix_length: int = 32,
+        obs: Observability | None = None,
     ) -> None:
         super().__init__(name)
         self.address = address
@@ -44,6 +46,7 @@ class SimpleQuicServer(Device):
             send=self.send,
             certificate=certificate,
             address=address,
+            obs=obs,
         )
 
     def prefixes(self) -> list[Prefix]:

@@ -4,7 +4,15 @@ from __future__ import annotations
 
 import heapq
 import itertools
+import time as _wall
 from typing import Callable, Optional
+
+from repro.obs import NULL_OBS, Observability
+from repro.obs.trace import CAT_SIM
+
+#: Queue depth is sampled every 2**_SAMPLE_SHIFT processed events.
+_SAMPLE_SHIFT = 10
+_QUEUE_DEPTH_BOUNDS = (1, 10, 100, 1_000, 10_000, 100_000, 1_000_000)
 
 
 class Event:
@@ -28,11 +36,12 @@ class Event:
 class EventLoop:
     """Min-heap scheduler; ties broken by insertion order (deterministic)."""
 
-    def __init__(self) -> None:
+    def __init__(self, obs: Observability | None = None) -> None:
         self._heap: list[Event] = []
         self._seq = itertools.count()
         self.now = 0.0
         self.events_processed = 0
+        self.obs = obs or NULL_OBS
 
     def schedule(self, delay: float, callback: Callable[[], None]) -> Event:
         """Run ``callback`` ``delay`` seconds from the current time."""
@@ -65,14 +74,73 @@ class EventLoop:
         return False
 
     def run(self, max_events: int = 0) -> None:
-        """Drain the queue (optionally bounded by ``max_events``)."""
+        """Drain the queue (optionally bounded by ``max_events``).
+
+        The budget guards against runaway simulations: it raises only if
+        events remain pending *after* ``max_events`` have been processed
+        — draining exactly on the budget is success, not failure.
+        """
+        obs = self.obs
+        instrumented = obs.enabled
+        if instrumented:
+            self._run_instrumented(max_events)
+            return
         count = 0
         while self.step():
             count += 1
             if max_events and count >= max_events:
-                raise RuntimeError(
-                    "event budget of %d exhausted; runaway simulation?" % max_events
+                if self.peek_time() is not None:
+                    raise RuntimeError(
+                        "event budget of %d exhausted; runaway simulation?"
+                        % max_events
+                    )
+                break
+
+    def _run_instrumented(self, max_events: int) -> None:
+        """``run`` with tracing and queue-depth/throughput metrics."""
+        obs = self.obs
+        tracer = obs.tracer
+        metrics = obs.metrics
+        depth_hist = (
+            metrics.histogram("sim.queue_depth", _QUEUE_DEPTH_BOUNDS)
+            if metrics is not None
+            else None
+        )
+        if tracer.enabled:
+            tracer.emit(CAT_SIM, "run_start", time=self.now, pending=len(self._heap))
+        start_wall = _wall.perf_counter()
+        start_now = self.now
+        count = 0
+        sample_mask = (1 << _SAMPLE_SHIFT) - 1
+        exhausted = False
+        while self.step():
+            count += 1
+            if depth_hist is not None and not count & sample_mask:
+                depth_hist.observe_key((), len(self._heap))
+            if max_events and count >= max_events:
+                exhausted = self.peek_time() is not None
+                break
+        elapsed = _wall.perf_counter() - start_wall
+        if metrics is not None:
+            metrics.counter("sim.events_processed").inc_key((), count)
+            if elapsed > 0:
+                metrics.gauge("sim.events_per_sec").set_key((), count / elapsed)
+                metrics.gauge("sim.sim_to_wall_ratio").set_key(
+                    (), (self.now - start_now) / elapsed
                 )
+        if tracer.enabled:
+            tracer.emit(
+                CAT_SIM,
+                "run_end",
+                time=self.now,
+                events=count,
+                wall_seconds=round(elapsed, 6),
+                pending=len(self._heap),
+            )
+        if exhausted:
+            raise RuntimeError(
+                "event budget of %d exhausted; runaway simulation?" % max_events
+            )
 
     def run_until(self, time: float) -> None:
         """Process events with timestamps <= ``time``; advance now to it."""

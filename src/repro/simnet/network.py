@@ -6,17 +6,28 @@ for the destination address.  Path latency is the sum of both endpoints'
 access delays plus jitter; a global loss rate models drop on the open
 Internet.  Packets to unowned space are counted and dropped (like real
 traffic to dark space that no telescope covers).
+
+Every transmit outcome — delivered, lost, unrouted — is recorded in the
+metrics registry with device and drop-reason labels, so ``repro stats``
+can account for every packet.  :class:`NetworkStats` remains as a thin
+compatibility view over those counters.
 """
 
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.inetdata.radix import RadixTree
 from repro.netstack.addr import Prefix
 from repro.netstack.udp import UdpDatagram
+from repro.obs import NULL_OBS, MetricsRegistry, Observability
+from repro.obs.trace import CAT_NET
 from repro.simnet.eventloop import EventLoop
+
+#: Transmit drop reasons (the ``reason`` label on ``net.dropped``).
+DROP_LOSS = "loss"
+DROP_NO_ROUTE = "no_route"
 
 
 @dataclass
@@ -59,11 +70,31 @@ class Device:
         self.network.transmit(self, datagram)
 
 
-@dataclass
 class NetworkStats:
-    delivered: int = 0
-    dropped_loss: int = 0
-    dropped_unrouted: int = 0
+    """Compatibility view over the ``net.delivered``/``net.dropped`` counters."""
+
+    def __init__(self, metrics: MetricsRegistry) -> None:
+        self._delivered = metrics.counter("net.delivered", ("device",))
+        self._dropped = metrics.counter("net.dropped", ("reason", "device"))
+
+    @property
+    def delivered(self) -> int:
+        return int(self._delivered.total())
+
+    @property
+    def dropped_loss(self) -> int:
+        return int(self._dropped.sum_where(reason=DROP_LOSS))
+
+    @property
+    def dropped_unrouted(self) -> int:
+        return int(self._dropped.sum_where(reason=DROP_NO_ROUTE))
+
+    def __repr__(self) -> str:
+        return "NetworkStats(delivered=%d, dropped_loss=%d, dropped_unrouted=%d)" % (
+            self.delivered,
+            self.dropped_loss,
+            self.dropped_unrouted,
+        )
 
 
 class Network:
@@ -74,11 +105,19 @@ class Network:
         loop: EventLoop,
         rng: random.Random,
         path: PathModel | None = None,
+        obs: Observability | None = None,
     ) -> None:
         self.loop = loop
         self.rng = rng
         self.path = path or PathModel()
-        self.stats = NetworkStats()
+        self.obs = obs or NULL_OBS
+        # The network always keeps counters (NetworkStats reads them); a
+        # shared registry from ``obs`` additionally surfaces them in
+        # snapshots/exports.
+        self.metrics = self.obs.metrics if self.obs.metrics is not None else MetricsRegistry()
+        self._m_delivered = self.metrics.counter("net.delivered", ("device",))
+        self._m_dropped = self.metrics.counter("net.dropped", ("reason", "device"))
+        self.stats = NetworkStats(self.metrics)
         self._routes: RadixTree[Device] = RadixTree()
         self._devices: list[Device] = []
 
@@ -99,17 +138,48 @@ class Network:
 
     def transmit(self, sender: Device, datagram: UdpDatagram) -> None:
         """Route ``datagram`` to the owner of its destination address."""
+        tracer = self.obs.tracer
         target = self._routes.lookup(datagram.dst_ip)
         if target is None:
-            self.stats.dropped_unrouted += 1
+            self._m_dropped.inc_key((DROP_NO_ROUTE, sender.name))
+            if tracer.enabled:
+                tracer.emit(
+                    CAT_NET,
+                    "packet_dropped",
+                    time=self.loop.now,
+                    reason=DROP_NO_ROUTE,
+                    src_device=sender.name,
+                    dst_ip=datagram.dst_ip,
+                    bytes=len(datagram.payload),
+                )
             return
         if self.path.loss_rate and self.rng.random() < self.path.loss_rate:
-            self.stats.dropped_loss += 1
+            self._m_dropped.inc_key((DROP_LOSS, target.name))
+            if tracer.enabled:
+                tracer.emit(
+                    CAT_NET,
+                    "packet_dropped",
+                    time=self.loop.now,
+                    reason=DROP_LOSS,
+                    src_device=sender.name,
+                    dst_device=target.name,
+                    bytes=len(datagram.payload),
+                )
             return
         delay = self.path.one_way_delay(
             self.rng, sender.access_delay, target.access_delay
         )
-        self.stats.delivered += 1
+        self._m_delivered.inc_key((target.name,))
+        if tracer.enabled:
+            tracer.emit(
+                CAT_NET,
+                "packet_delivered",
+                time=self.loop.now,
+                src_device=sender.name,
+                dst_device=target.name,
+                delay=round(delay, 6),
+                bytes=len(datagram.payload),
+            )
         self.loop.schedule(
             delay, lambda: target.handle_datagram(datagram, self.loop.now)
         )

@@ -19,6 +19,8 @@ from repro.core.dissector import DissectError, dissect_datagram
 from repro.inetdata.asdb import AsDatabase
 from repro.netstack.pcap import PcapRecord
 from repro.netstack.udp import QUIC_PORT, UdpParseError, decode_udp
+from repro.obs import NULL_OBS, Observability
+from repro.obs.trace import CAT_SANITIZE
 from repro.quic.packet import ParsedLongHeader
 from repro.telescope.acknowledged import AcknowledgedScanners
 
@@ -95,13 +97,39 @@ def classify_capture(
     asdb: AsDatabase | None = None,
     acknowledged: AcknowledgedScanners | None = None,
     validate_crypto_scans: bool = True,
+    obs: Observability | None = None,
 ) -> ClassifiedCapture:
     """Run the full sanitization pipeline over raw capture records.
 
     ``validate_crypto_scans`` additionally AEAD-validates client Initials in
     scan traffic (possible passively because Initial keys derive from the
     DCID); backscatter is validated structurally, as in Wireshark.
+
+    With ``obs`` attached, every removed record emits a ``sanitize:drop``
+    trace event and increments the ``sanitize.packets`` counter under its
+    drop-stage label; kept records count under ``kept_backscatter`` /
+    ``kept_scan``.
     """
+    obs = obs or NULL_OBS
+    tracer = obs.tracer
+    m_packets = (
+        obs.metrics.counter("sanitize.packets", ("stage",))
+        if obs.metrics is not None
+        else None
+    )
+
+    def drop(record: PcapRecord, reason: str) -> None:
+        if m_packets is not None:
+            m_packets.inc_key((reason,))
+        if tracer.enabled:
+            tracer.emit(
+                CAT_SANITIZE,
+                "drop",
+                time=record.timestamp,
+                reason=reason,
+                bytes=len(record.data),
+            )
+
     out = ClassifiedCapture()
     stats = out.stats
     for record in records:
@@ -110,6 +138,7 @@ def classify_capture(
             datagram = decode_udp(record.data)
         except (UdpParseError, ValueError):
             stats.non_udp += 1
+            drop(record, "non_udp")
             continue
         if datagram.src_port == QUIC_PORT:
             klass = PacketClass.BACKSCATTER
@@ -117,6 +146,7 @@ def classify_capture(
             klass = PacketClass.SCAN
         else:
             stats.non_port_443 += 1
+            drop(record, "non_port_443")
             continue
         try:
             dissected = dissect_datagram(
@@ -127,6 +157,7 @@ def classify_capture(
             )
         except DissectError:
             stats.failed_dissection += 1
+            drop(record, "failed_dissection")
             continue
         if (
             klass is PacketClass.SCAN
@@ -134,6 +165,7 @@ def classify_capture(
             and acknowledged.is_acknowledged(datagram.src_ip)
         ):
             stats.acknowledged_scanner += 1
+            drop(record, "acknowledged_scanner")
             continue
         captured = CapturedPacket(
             timestamp=record.timestamp,
@@ -149,7 +181,11 @@ def classify_capture(
         if klass is PacketClass.BACKSCATTER:
             out.backscatter.append(captured)
             stats.backscatter += 1
+            if m_packets is not None:
+                m_packets.inc_key(("kept_backscatter",))
         else:
             out.scans.append(captured)
             stats.scans += 1
+            if m_packets is not None:
+                m_packets.inc_key(("kept_scan",))
     return out

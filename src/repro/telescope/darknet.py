@@ -13,28 +13,70 @@ from typing import BinaryIO, Iterable
 
 from repro.netstack.addr import Prefix
 from repro.netstack.pcap import PcapReader, PcapRecord, PcapWriter
-from repro.netstack.udp import UdpDatagram, encode_udp
+from repro.netstack.udp import QUIC_PORT, UdpDatagram, encode_udp
+from repro.obs import NULL_OBS, Observability
+from repro.obs.trace import CAT_TELESCOPE
 from repro.simnet.network import Device
 
 #: The UCSD network telescope operates a /9; scenarios default to it.
 DEFAULT_PREFIX = "44.0.0.0/9"
 
+#: Payload-size buckets for the capture histogram (bytes); spans the
+#: paper's characteristic datagram sizes (Figure 7).
+CAPTURE_SIZE_BOUNDS = (64, 128, 256, 512, 1024, 1200, 1280, 1357, 1472)
+
 
 class Telescope(Device):
     """Records all traffic to its prefix; never responds to anything."""
 
-    def __init__(self, name: str = "telescope", prefix: Prefix | str = DEFAULT_PREFIX) -> None:
+    def __init__(
+        self,
+        name: str = "telescope",
+        prefix: Prefix | str = DEFAULT_PREFIX,
+        obs: Observability | None = None,
+    ) -> None:
         super().__init__(name)
         if isinstance(prefix, str):
             prefix = Prefix.parse(prefix)
         self.prefix = prefix
         self.records: list[PcapRecord] = []
+        obs = obs or NULL_OBS
+        self._tracer = obs.tracer
+        if obs.metrics is not None:
+            self._m_captured = obs.metrics.counter("telescope.captured", ("kind",))
+            self._m_bytes = obs.metrics.histogram(
+                "telescope.payload_bytes", CAPTURE_SIZE_BOUNDS, ("kind",)
+            )
+        else:
+            self._m_captured = None
+            self._m_bytes = None
 
     def prefixes(self) -> list[Prefix]:
         return [self.prefix]
 
     def handle_datagram(self, datagram: UdpDatagram, now: float) -> None:
         self.records.append(PcapRecord(timestamp=now, data=encode_udp(datagram)))
+        if self._m_captured is not None or self._tracer.enabled:
+            # Candidate class from ports alone (sanitization refines later).
+            if datagram.src_port == QUIC_PORT:
+                kind = "backscatter"
+            elif datagram.dst_port == QUIC_PORT:
+                kind = "scan"
+            else:
+                kind = "other"
+            if self._m_captured is not None:
+                self._m_captured.inc_key((kind,))
+                self._m_bytes.observe_key((kind,), len(datagram.payload))
+            if self._tracer.enabled:
+                self._tracer.emit(
+                    CAT_TELESCOPE,
+                    "capture",
+                    time=now,
+                    kind=kind,
+                    src_ip=datagram.src_ip,
+                    dst_ip=datagram.dst_ip,
+                    bytes=len(datagram.payload),
+                )
 
     # -- persistence -----------------------------------------------------------
     def write_pcap(self, fileobj: BinaryIO) -> None:

@@ -22,6 +22,8 @@ from repro.inetdata.certs import CertificateStore
 from repro.inetdata.geodb import GeoDatabase
 from repro.inetdata.hypergiants import CLOUDFLARE, FACEBOOK, GOOGLE
 from repro.netstack.addr import Prefix, parse_ip
+from repro.obs import NULL_OBS, Observability
+from repro.obs.trace import CAT_WORKLOAD
 from repro.quic.version import (
     DRAFT_28,
     DRAFT_29,
@@ -155,6 +157,7 @@ class Scenario:
     offnet_servers: list[SimpleQuicServer] = field(default_factory=list)
     remaining_servers: list[SimpleQuicServer] = field(default_factory=list)
     attacker: SpoofingAttacker | None = None
+    obs: Observability = field(default_factory=lambda: NULL_OBS)
 
     def run(self) -> None:
         """Run the event loop to completion (all traffic + retransmissions)."""
@@ -166,6 +169,7 @@ class Scenario:
             asdb=self.asdb,
             acknowledged=self.acknowledged,
             validate_crypto_scans=validate_crypto_scans,
+            obs=self.obs,
         )
 
     def vips(self, hypergiant: str) -> list[int]:
@@ -255,13 +259,16 @@ def _year_versions(profile: ServerProfile, year: int) -> ServerProfile:
 # ---------------------------------------------------------------------------
 
 
-def build_scenario(config: ScenarioConfig | None = None) -> Scenario:
+def build_scenario(
+    config: ScenarioConfig | None = None, obs: Observability | None = None
+) -> Scenario:
     """Wire up a full telescope measurement month."""
     config = config or ScenarioConfig()
+    obs = obs or NULL_OBS
     rng = random.Random(config.seed)
-    loop = EventLoop()
-    network = Network(loop, random.Random(config.seed ^ 0xBEEF), PathModel())
-    telescope = Telescope(prefix=config.telescope_prefix)
+    loop = EventLoop(obs)
+    network = Network(loop, random.Random(config.seed ^ 0xBEEF), PathModel(), obs=obs)
+    telescope = Telescope(prefix=config.telescope_prefix, obs=obs)
     network.add_device(telescope)
 
     asdb = AsDatabase.with_hypergiants()
@@ -292,6 +299,7 @@ def build_scenario(config: ScenarioConfig | None = None) -> Scenario:
         geodb=geodb,
         certstore=certstore,
         acknowledged=acknowledged,
+        obs=obs,
     )
     _build_onnet(scenario)
     _build_offnet(scenario, isp_prefixes)
@@ -367,6 +375,7 @@ def _build_onnet(scenario: Scenario) -> None:
                 host_id_base=next_host_id,
                 certificate=cert,
                 country=country,
+                obs=scenario.obs,
             )
             next_host_id += hosts + scenario.rng.randrange(1, 50)
             scenario.network.add_device(cluster)
@@ -401,6 +410,7 @@ def _build_offnet(scenario: Scenario, isp_prefixes: list[Prefix]) -> None:
             rng=rng,
             host_id=1 + (i % 24),  # low, reused host IDs
             certificate=fb_cert,
+            obs=scenario.obs,
         )
         scenario.network.add_device(server)
         scenario.certstore.register(address, fb_cert, ptr="cache-%d.fbcdn.net" % i)
@@ -419,6 +429,7 @@ def _build_offnet(scenario: Scenario, isp_prefixes: list[Prefix]) -> None:
             loop=scenario.loop,
             rng=rng,
             host_id=i,
+            obs=scenario.obs,
         )
         # No certificate registered: like the paper's Cloudflare candidates,
         # these do not admit verification.
@@ -453,6 +464,7 @@ def _build_remaining(scenario: Scenario, isp_prefixes: list[Prefix]) -> None:
             rng=rng,
             host_id=rng.randrange(1 << 16),
             certificate=cert,
+            obs=scenario.obs,
         )
         scenario.network.add_device(server)
         if cert is not None:
@@ -463,6 +475,7 @@ def _build_remaining(scenario: Scenario, isp_prefixes: list[Prefix]) -> None:
 def _build_traffic(scenario: Scenario, isp_prefixes: list[Prefix]) -> None:
     cfg = scenario.config
     loop = scenario.loop
+    tracer = scenario.obs.tracer
     attacker = SpoofingAttacker(
         name="botnet",
         loop=loop,
@@ -480,6 +493,15 @@ def _build_traffic(scenario: Scenario, isp_prefixes: list[Prefix]) -> None:
     def flood(targets, count, versions, bogus=0.0):
         if not targets or count <= 0:
             return
+        if tracer.enabled:
+            tracer.emit(
+                CAT_WORKLOAD,
+                "attack_launched",
+                time=loop.now,
+                targets=len(targets),
+                packets=count,
+                duration=window,
+            )
         attacker.launch(
             AttackPlan(
                 targets=tuple(targets),
@@ -535,6 +557,15 @@ def _build_traffic(scenario: Scenario, isp_prefixes: list[Prefix]) -> None:
             suite=cfg.suite,
         )
         scenario.network.add_device(scanner)
+        if tracer.enabled:
+            tracer.emit(
+                CAT_WORKLOAD,
+                "scan_sweep",
+                time=loop.now,
+                scanner=name,
+                packets=per_scanner,
+                duration=window,
+            )
         scanner.sweep(per_scanner, start_time=0.0, duration=window)
 
     bot_rng = random.Random(cfg.seed ^ 0xB07)
@@ -589,6 +620,14 @@ def _build_traffic(scenario: Scenario, isp_prefixes: list[Prefix]) -> None:
         target_prefix=scenario.telescope.prefix,
     )
     scenario.network.add_device(noise)
+    if tracer.enabled:
+        tracer.emit(
+            CAT_WORKLOAD,
+            "noise_started",
+            time=loop.now,
+            packets=cfg.noise_packets,
+            duration=window,
+        )
     noise.emit(cfg.noise_packets, start_time=0.0, duration=window)
 
 
@@ -606,6 +645,7 @@ class Lab:
     rng: random.Random
     clusters: dict[str, list[FrontendCluster]]
     geodb: GeoDatabase
+    obs: Observability = field(default_factory=lambda: NULL_OBS)
 
     def vips(self, hypergiant: str) -> list[int]:
         return [
@@ -619,6 +659,7 @@ def build_facebook_lab(
     suite: str = "null",
     workers_per_host: int = 4,
     maglev_table_size: int = 1021,
+    obs: Observability | None = None,
 ) -> Lab:
     """Facebook on-net deployment for L7LB experiments.
 
@@ -626,9 +667,10 @@ def build_facebook_lab(
     The default ``null`` protection suite makes bulk probing cheap; the
     wire format is unchanged.
     """
+    obs = obs or NULL_OBS
     rng = random.Random(seed)
-    loop = EventLoop()
-    network = Network(loop, random.Random(seed ^ 1), PathModel(jitter=0.0))
+    loop = EventLoop(obs)
+    network = Network(loop, random.Random(seed ^ 1), PathModel(jitter=0.0), obs=obs)
     geodb = GeoDatabase()
     profile = replace(
         facebook_profile(), protection_suite=suite, workers_per_host=workers_per_host
@@ -650,13 +692,19 @@ def build_facebook_lab(
             certificate=cert,
             country=country,
             maglev_table_size=maglev_table_size,
+            obs=obs,
         )
         next_host_id += host_count + rng.randrange(1, 20)
         network.add_device(cluster)
         geodb.register(prefix, country)
         clusters.append(cluster)
     return Lab(
-        loop=loop, network=network, rng=rng, clusters={"Facebook": clusters}, geodb=geodb
+        loop=loop,
+        network=network,
+        rng=rng,
+        clusters={"Facebook": clusters},
+        geodb=geodb,
+        obs=obs,
     )
 
 
@@ -666,6 +714,7 @@ def build_lb_lab(
     seed: int = 11,
     suite: str = "null",
     quic_lb_hosts: int = 0,
+    obs: Observability | None = None,
 ) -> Lab:
     """One Google + one Facebook cluster, for the Appendix-D experiments.
 
@@ -675,9 +724,10 @@ def build_lb_lab(
     """
     from repro.server.profiles import quic_lb_profile
 
+    obs = obs or NULL_OBS
     rng = random.Random(seed)
-    loop = EventLoop()
-    network = Network(loop, random.Random(seed ^ 1), PathModel(jitter=0.0))
+    loop = EventLoop(obs)
+    network = Network(loop, random.Random(seed ^ 1), PathModel(jitter=0.0), obs=obs)
     geodb = GeoDatabase()
     clusters: dict[str, list[FrontendCluster]] = {}
     specs = [
@@ -700,10 +750,11 @@ def build_lb_lab(
             host_id_base=100,
             certificate=_cluster_cert(hypergiant) if hypergiant else None,
             country="US",
+            obs=obs,
         )
         network.add_device(cluster)
         geodb.register(prefix, "US")
         clusters[name] = [cluster]
     return Lab(
-        loop=loop, network=network, rng=rng, clusters=clusters, geodb=geodb
+        loop=loop, network=network, rng=rng, clusters=clusters, geodb=geodb, obs=obs
     )

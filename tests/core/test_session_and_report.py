@@ -63,3 +63,28 @@ class TestReport:
 
     def test_render_histogram_empty(self):
         assert "empty" in render_histogram([])
+
+    def test_render_histogram_all_zero_counts(self):
+        """All-zero series must render (no ZeroDivisionError, no bars)."""
+        out = render_histogram([("a", 0), ("b", 0)], width=10)
+        lines = out.splitlines()
+        assert len(lines) == 2
+        assert "#" not in out
+
+    def test_render_histogram_empty_label_rows(self):
+        out = render_histogram([("", 3), ("x", 1)], width=10)
+        lines = out.splitlines()
+        assert len(lines) == 2
+        assert lines[0].endswith("#" * 10)
+
+    def test_render_table_ragged_rows_raise(self):
+        import pytest
+
+        with pytest.raises(ValueError, match="expected 2"):
+            render_table(["a", "b"], [["1", "2"], ["only-one"]])
+
+    def test_render_table_too_many_cells_raise(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            render_table(["a", "b"], [["1", "2", "3"]])

@@ -1,0 +1,110 @@
+"""CLI observability surface: --trace, --metrics, --json, and `repro stats`."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.obs import load_snapshot
+from repro.obs.trace import read_trace
+
+
+@pytest.fixture(scope="module")
+def traced_run(tmp_path_factory):
+    """One traced + metered simulate, shared by the assertions below."""
+    root = tmp_path_factory.mktemp("obs")
+    pcap = str(root / "month.pcap")
+    trace = str(root / "month.qlog.jsonl")
+    metrics = str(root / "month.metrics.json")
+    code = main(
+        [
+            "simulate", pcap, "--scale", "0.05", "--seed", "42",
+            "--trace", trace, "--metrics", metrics,
+        ]
+    )
+    assert code == 0
+    return pcap, trace, metrics
+
+
+class TestSimulateTracing:
+    def test_trace_is_valid_jsonl_with_required_fields(self, traced_run):
+        _pcap, trace, _metrics = traced_run
+        events = list(read_trace(trace))
+        assert len(events) > 1000
+        for event in events[:50] + events[-50:]:
+            assert set(("time", "category", "name")) <= set(event)
+
+    def test_at_least_eight_distinct_categories(self, traced_run):
+        _pcap, trace, _metrics = traced_run
+        categories = {event["category"] for event in read_trace(trace)}
+        assert len(categories) >= 8, categories
+
+    def test_metrics_snapshot_contents(self, traced_run):
+        _pcap, _trace, metrics = traced_run
+        snapshot = load_snapshot(metrics)
+        assert snapshot["counters"]["net.delivered"]["values"]
+        assert snapshot["counters"]["engine.events"]["values"]
+        hist = snapshot["histograms"]["telescope.payload_bytes"]
+        assert hist["label_names"] == ["kind"]
+        assert any(series["count"] for series in hist["values"].values())
+        for stage in ("build_scenario", "simulate", "write_pcap"):
+            assert snapshot["timers"][stage]["calls"] == 1
+
+    def test_untraced_output_identical(self, traced_run, tmp_path):
+        """Tracing must not perturb the simulation (pure observation)."""
+        pcap, _trace, _metrics = traced_run
+        plain = str(tmp_path / "plain.pcap")
+        assert main(["simulate", plain, "--scale", "0.05", "--seed", "42"]) == 0
+        with open(pcap, "rb") as a, open(plain, "rb") as b:
+            assert a.read() == b.read()
+
+
+class TestClassifyObs:
+    def test_json_mode(self, traced_run, capsys):
+        pcap, _trace, _metrics = traced_run
+        assert main(["classify", pcap, "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        stats = payload["stats"]
+        assert stats["total_records"] > 0
+        kept = stats["backscatter"] + stats["scans"]
+        assert kept + stats["removed"] == stats["total_records"]
+        counters = payload["metrics"]["counters"]["sanitize.packets"]["values"]
+        assert counters["kept_backscatter"] == stats["backscatter"]
+        assert "classify" in payload["metrics"]["timers"]
+
+    def test_classify_metrics_flag(self, traced_run, tmp_path, capsys):
+        pcap, _trace, _metrics = traced_run
+        out = str(tmp_path / "classify.metrics.json")
+        assert main(["classify", pcap, "--metrics", out]) == 0
+        snapshot = load_snapshot(out)
+        assert snapshot["counters"]["sanitize.packets"]["values"]
+
+
+class TestStatsCommand:
+    def test_renders_tables_and_histograms(self, traced_run, capsys):
+        _pcap, _trace, metrics = traced_run
+        assert main(["stats", metrics]) == 0
+        out = capsys.readouterr().out
+        assert "Stage timings" in out
+        assert "Counters" in out
+        assert "net.delivered" in out
+        assert "telescope.payload_bytes" in out
+        assert "#" in out  # histogram bars
+
+    def test_probe_with_metrics(self, tmp_path, capsys):
+        out = str(tmp_path / "probe.metrics.json")
+        assert main(
+            ["probe", "enumerate", "--hosts", "4", "--handshakes", "60",
+             "--metrics", out]
+        ) == 0
+        snapshot = load_snapshot(out)
+        assert "probe.enumerate" in snapshot["timers"]
+        assert snapshot["counters"]["lb.dispatch"]["values"]
+
+    def test_analyze_with_metrics(self, traced_run, tmp_path, capsys):
+        pcap, _trace, _metrics = traced_run
+        out = str(tmp_path / "analyze.metrics.json")
+        assert main(["analyze", pcap, "--tables", "2", "--metrics", out]) == 0
+        snapshot = load_snapshot(out)
+        for stage in ("read_pcap", "classify", "analyze"):
+            assert stage in snapshot["timers"]

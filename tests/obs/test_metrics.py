@@ -1,0 +1,117 @@
+"""Counters, gauges, histograms, stage timers, and snapshot export."""
+
+import json
+
+import pytest
+
+from repro.obs.metrics import (
+    Counter,
+    Histogram,
+    MetricsRegistry,
+    load_snapshot,
+)
+
+
+class TestCounter:
+    def test_inc_with_labels(self):
+        counter = Counter("net.dropped", ("reason", "device"))
+        counter.inc(reason="loss", device="telescope")
+        counter.inc(2, reason="loss", device="telescope")
+        counter.inc(reason="no_route", device="botnet")
+        assert counter.value(reason="loss", device="telescope") == 3
+        assert counter.total() == 4
+
+    def test_sum_where_partial_match(self):
+        counter = Counter("net.dropped", ("reason", "device"))
+        counter.inc(reason="loss", device="a")
+        counter.inc(reason="loss", device="b")
+        counter.inc(reason="no_route", device="a")
+        assert counter.sum_where(reason="loss") == 2
+        assert counter.sum_where(device="a") == 2
+
+    def test_wrong_labels_rejected(self):
+        counter = Counter("x", ("device",))
+        with pytest.raises(ValueError):
+            counter.inc(reason="loss")
+
+    def test_inc_key_fast_path(self):
+        counter = Counter("x", ("device",))
+        counter.inc_key(("t",), 5)
+        assert counter.value(device="t") == 5
+
+
+class TestHistogram:
+    def test_bucketing_including_overflow(self):
+        hist = Histogram("bytes", (10, 100, 1000))
+        for value in (5, 50, 50, 500, 5000):
+            hist.observe_key((), value)
+        series = hist.series[()]
+        assert series.counts == [1, 2, 1, 1]
+        assert series.count == 5
+        assert series.sum == 5605
+
+    def test_labeled_series_are_independent(self):
+        hist = Histogram("bytes", (100,), ("kind",))
+        hist.observe(50, kind="scan")
+        hist.observe(500, kind="backscatter")
+        assert hist.series[("scan",)].counts == [1, 0]
+        assert hist.series[("backscatter",)].counts == [0, 1]
+
+    def test_unsorted_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            Histogram("bad", (100, 10))
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_instrument(self):
+        registry = MetricsRegistry()
+        assert registry.counter("a", ("x",)) is registry.counter("a", ("x",))
+
+    def test_label_mismatch_on_reregistration(self):
+        registry = MetricsRegistry()
+        registry.counter("a", ("x",))
+        with pytest.raises(ValueError):
+            registry.counter("a", ("y",))
+
+    def test_time_block_accumulates(self):
+        registry = MetricsRegistry()
+        with registry.time_block("classify"):
+            pass
+        with registry.time_block("classify"):
+            pass
+        snapshot = registry.snapshot()
+        assert snapshot["timers"]["classify"]["calls"] == 2
+        assert snapshot["timers"]["classify"]["seconds"] >= 0
+        assert registry.timer_seconds("classify") >= 0
+
+    def test_time_block_records_on_exception(self):
+        registry = MetricsRegistry()
+        with pytest.raises(RuntimeError):
+            with registry.time_block("boom"):
+                raise RuntimeError()
+        assert registry.snapshot()["timers"]["boom"]["calls"] == 1
+
+
+class TestSnapshot:
+    def test_snapshot_is_json_ready(self):
+        registry = MetricsRegistry()
+        registry.counter("net.dropped", ("reason",)).inc(reason="loss")
+        registry.gauge("sim.ratio").set_key((), 12.5)
+        registry.histogram("bytes", (100, 1000), ("kind",)).observe(42, kind="scan")
+        with registry.time_block("simulate"):
+            pass
+        snapshot = json.loads(registry.to_json())
+        assert snapshot["counters"]["net.dropped"]["values"]["loss"] == 1
+        assert snapshot["gauges"]["sim.ratio"]["values"][""] == 12.5
+        hist = snapshot["histograms"]["bytes"]
+        assert hist["buckets"] == ["<=100", "<=1000", "+Inf"]
+        assert hist["values"]["scan"]["counts"] == [1, 0, 0]
+        assert "simulate" in snapshot["timers"]
+
+    def test_write_and_load_roundtrip(self, tmp_path):
+        registry = MetricsRegistry()
+        registry.counter("c").inc_key((), 7)
+        path = str(tmp_path / "m.json")
+        registry.write(path)
+        snapshot = load_snapshot(path)
+        assert snapshot["counters"]["c"]["values"][""] == 7

@@ -1,0 +1,88 @@
+"""The qlog-style JSONL tracer."""
+
+import io
+import json
+
+from repro.obs import NULL_OBS, JsonlTracer, NullTracer, Observability
+from repro.obs.trace import CAT_TRANSPORT, read_trace
+
+
+class TestJsonlTracer:
+    def test_one_json_object_per_line(self):
+        sink = io.StringIO()
+        tracer = JsonlTracer(sink)
+        tracer.emit(CAT_TRANSPORT, "packet_sent", time=1.5, cid="ab", bytes=120)
+        tracer.emit("recovery", "rto_fired", time=2.0)
+        lines = sink.getvalue().strip().split("\n")
+        assert len(lines) == 2
+        first = json.loads(lines[0])
+        assert first["time"] == 1.5
+        assert first["category"] == "transport"
+        assert first["name"] == "packet_sent"
+        assert first["data"] == {"cid": "ab", "bytes": 120}
+        assert "wall" in first
+
+    def test_required_fields_always_present(self):
+        sink = io.StringIO()
+        JsonlTracer(sink).emit("sim", "run_start")
+        event = json.loads(sink.getvalue())
+        for field in ("time", "category", "name"):
+            assert field in event
+
+    def test_scoped_context_merged_into_data(self):
+        sink = io.StringIO()
+        tracer = JsonlTracer(sink).scoped(host=3, worker=1)
+        tracer.emit("transport", "packet_sent", time=0.0, cid="ff")
+        event = json.loads(sink.getvalue())
+        assert event["data"] == {"host": 3, "worker": 1, "cid": "ff"}
+
+    def test_scoped_nesting_and_override(self):
+        sink = io.StringIO()
+        tracer = JsonlTracer(sink).scoped(host=3).scoped(worker=2)
+        tracer.emit("lb", "dispatch", time=0.0, host=9)
+        event = json.loads(sink.getvalue())
+        assert event["data"] == {"host": 9, "worker": 2}
+
+    def test_events_emitted_counter(self):
+        tracer = JsonlTracer(io.StringIO())
+        for _ in range(3):
+            tracer.emit("sim", "tick")
+        assert tracer.events_emitted == 3
+
+    def test_to_path_and_read_trace_roundtrip(self, tmp_path):
+        path = str(tmp_path / "trace.jsonl")
+        tracer = JsonlTracer.to_path(path)
+        tracer.emit("telescope", "capture", time=4.2, bytes=1200)
+        tracer.close()
+        events = list(read_trace(path))
+        assert len(events) == 1
+        assert events[0]["name"] == "capture"
+        assert events[0]["data"]["bytes"] == 1200
+
+
+class TestNullTracer:
+    def test_falsy_and_disabled(self):
+        tracer = NullTracer()
+        assert not tracer
+        assert not tracer.enabled
+
+    def test_emit_is_noop_and_scoped_returns_self(self):
+        tracer = NullTracer()
+        tracer.emit("transport", "packet_sent", time=1.0, anything="goes")
+        assert tracer.scoped(host=1) is tracer
+
+    def test_jsonl_tracer_is_truthy(self):
+        assert JsonlTracer(io.StringIO())
+
+
+class TestObservability:
+    def test_null_obs_disabled(self):
+        assert not NULL_OBS.enabled
+        assert NULL_OBS.metrics is None
+
+    def test_enabled_with_tracer_or_metrics(self):
+        from repro.obs import MetricsRegistry
+
+        assert Observability(tracer=JsonlTracer(io.StringIO())).enabled
+        assert Observability(metrics=MetricsRegistry()).enabled
+        assert not Observability().enabled

@@ -101,6 +101,31 @@ class TestBudget:
         with pytest.raises(RuntimeError):
             loop.run(max_events=100)
 
+    def test_budget_not_exhausted_when_queue_drains_exactly(self):
+        """Regression: draining on exactly the budget-th event is success."""
+        loop = EventLoop()
+        fired = []
+        for i in range(10):
+            loop.schedule(0.1 * (i + 1), lambda i=i: fired.append(i))
+        loop.run(max_events=10)  # queue empties on the 10th event: no error
+        assert len(fired) == 10
+
+    def test_budget_raises_only_with_pending_events(self):
+        loop = EventLoop()
+        for i in range(11):
+            loop.schedule(0.1 * (i + 1), lambda: None)
+        with pytest.raises(RuntimeError):
+            loop.run(max_events=10)
+
+    def test_budget_ignores_trailing_cancelled_events(self):
+        """A cancelled tail does not count as pending work."""
+        loop = EventLoop()
+        for i in range(5):
+            loop.schedule(0.1 * (i + 1), lambda: None)
+        tail = loop.schedule(1.0, lambda: None)
+        tail.cancel()
+        loop.run(max_events=5)
+
     def test_events_processed_counter(self):
         loop = EventLoop()
         for _ in range(5):
