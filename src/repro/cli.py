@@ -10,11 +10,19 @@ Five commands cover the toolchain end to end:
 * ``probe``    — run the active-measurement experiments against a
   simulated deployment (host-ID enumeration, LB-type inference,
   migration survival);
-* ``stats``    — pretty-print a metrics snapshot written by ``--metrics``.
+* ``stats``    — pretty-print a metrics snapshot written by ``--metrics``,
+  or diff two snapshots (``--diff A.json B.json``);
+* ``trace``    — inspect JSONL traces (``trace summarize`` prints
+  per-category counts and top event names).
 
 ``simulate``/``classify``/``analyze``/``probe`` all accept ``--trace
 FILE.qlog.jsonl`` (structured event stream, one JSON object per line) and
-``--metrics FILE.json`` (counter/gauge/histogram/timer snapshot).
+``--metrics FILE.json`` (counter/gauge/histogram/timer snapshot), plus the
+cheap always-on sinks ``--trace-sample N`` (deterministic per-type
+sampling) and ``--trace-ring K`` (in-memory flight recorder).
+``simulate``/``probe`` additionally publish live Prometheus metrics via
+``--prom-file`` (textfile collector) and ``--prom-port`` (/metrics HTTP
+endpoint).
 """
 
 from __future__ import annotations
@@ -31,7 +39,17 @@ from repro.core.timing import timing_profiles
 from repro.core.versions import TABLE2_ROWS, table2
 from repro.inetdata.asdb import AsDatabase, AsEntry
 from repro.netstack.pcap import read_pcap
-from repro.obs import JsonlTracer, MetricsRegistry, Observability, load_snapshot
+from repro.obs import (
+    JsonlTracer,
+    MetricsRegistry,
+    Observability,
+    PromFileWriter,
+    RingBufferTracer,
+    SamplingTracer,
+    load_snapshot,
+    start_http_exporter,
+)
+from repro.obs.trace import read_trace
 from repro.telescope.acknowledged import AcknowledgedScanners
 from repro.telescope.classify import ClassifiedCapture, classify_capture
 from repro.workloads.scenario import (
@@ -56,9 +74,54 @@ def _add_obs_flags(parser: argparse.ArgumentParser) -> None:
         help="write a qlog-style JSONL event trace to FILE",
     )
     parser.add_argument(
+        "--trace-sample",
+        type=int,
+        default=0,
+        metavar="N",
+        help="keep every Nth event per type (rare lifecycle/security events "
+        "always kept); deterministic, cheap enough to leave on",
+    )
+    parser.add_argument(
+        "--trace-ring",
+        type=int,
+        default=0,
+        metavar="K",
+        help="flight-recorder mode: keep the last K events in memory and "
+        "dump them to the --trace file on exit (or crash)",
+    )
+    parser.add_argument(
         "--metrics",
         metavar="FILE",
         help="write a metrics snapshot (counters/histograms/timers) to FILE",
+    )
+
+
+def _add_prom_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--prom-file",
+        metavar="PATH",
+        help="atomically rewrite PATH in Prometheus text format every "
+        "--prom-interval simulated seconds (node_exporter textfile collector)",
+    )
+    parser.add_argument(
+        "--prom-port",
+        type=int,
+        default=None,
+        metavar="PORT",
+        help="serve live /metrics on PORT while the command runs (0 = ephemeral)",
+    )
+    parser.add_argument(
+        "--prom-interval",
+        type=float,
+        default=5.0,
+        metavar="SECONDS",
+        help="simulated seconds between --prom-file rewrites (default: 5)",
+    )
+
+
+def _wants_prom(args: argparse.Namespace) -> bool:
+    return bool(
+        getattr(args, "prom_file", None) or getattr(args, "prom_port", None) is not None
     )
 
 
@@ -66,16 +129,60 @@ def _make_obs(args: argparse.Namespace, force_metrics: bool = False) -> Observab
     """Build the Observability bundle the command threads through the stack.
 
     ``force_metrics`` attaches a registry even without ``--metrics`` (used
-    by ``classify --json``, whose output embeds the snapshot).
+    by ``classify --json``, whose output embeds the snapshot, and by the
+    Prometheus publishers, which render it live).
     """
-    tracer = JsonlTracer.to_path(args.trace) if getattr(args, "trace", None) else None
-    wants_metrics = force_metrics or getattr(args, "metrics", None)
+    trace_path = getattr(args, "trace", None)
+    ring = getattr(args, "trace_ring", 0)
+    sample = getattr(args, "trace_sample", 0)
+    if ring and not trace_path:
+        raise SystemExit("--trace-ring needs --trace FILE to dump into")
+    tracer = None
+    if ring:
+        tracer = RingBufferTracer(capacity=ring, dump_path=trace_path)
+    elif trace_path:
+        tracer = JsonlTracer.to_path(trace_path)
+    if tracer is not None and sample:
+        tracer = SamplingTracer(tracer, every=sample)
+    wants_metrics = force_metrics or getattr(args, "metrics", None) or _wants_prom(args)
     metrics = MetricsRegistry() if wants_metrics else None
     return Observability(tracer=tracer, metrics=metrics)
 
 
+def _start_prom(args: argparse.Namespace, obs: Observability, loop=None):
+    """Start the requested Prometheus publishers; returns a stop callable.
+
+    The file writer ticks on the *simulated* clock (``--prom-interval``
+    sim-seconds) so snapshots land at deterministic points of the run; the
+    HTTP endpoint serves the live registry from a daemon thread.
+    """
+    if not _wants_prom(args):
+        return lambda: None
+    writer = (
+        PromFileWriter(obs.metrics, args.prom_file) if args.prom_file else None
+    )
+    if writer is not None and loop is not None:
+        loop.schedule_periodic(args.prom_interval, writer.write)
+    server = None
+    if args.prom_port is not None:
+        server = start_http_exporter(obs.metrics, port=args.prom_port)
+        print("Serving live metrics at %s" % server.url)
+
+    def stop() -> None:
+        if writer is not None:
+            writer.write()  # final state, even if the loop never ticked
+        if server is not None:
+            server.close()
+
+    return stop
+
+
 def _finish_obs(args: argparse.Namespace, obs: Observability) -> None:
-    """Flush the trace sink and persist the metrics snapshot, if requested."""
+    """Flush the trace sink and persist the metrics snapshot, if requested.
+
+    Runs in each command's ``finally`` block, so a ring-buffer tracer dumps
+    its window even when the run crashes mid-way.
+    """
     obs.close()
     if getattr(args, "metrics", None) and obs.metrics is not None:
         obs.metrics.write(args.metrics)
@@ -129,10 +236,12 @@ def cmd_simulate(args: argparse.Namespace) -> int:
     config = config.scaled(args.scale)
     print("Simulating %d (scale %.2f, seed %d)…" % (args.year, args.scale, args.seed))
     obs = _make_obs(args)
+    stop_prom = lambda: None  # noqa: E731 - trivial default finisher
     try:
         if obs.metrics is not None:
             with obs.metrics.time_block("build_scenario"):
                 scenario = build_scenario(config, obs=obs)
+            stop_prom = _start_prom(args, obs, loop=scenario.loop)
             with obs.metrics.time_block("simulate"):
                 scenario.run()
             with obs.metrics.time_block("write_pcap"):
@@ -144,6 +253,7 @@ def cmd_simulate(args: argparse.Namespace) -> int:
             with open(args.output, "wb") as fileobj:
                 scenario.telescope.write_pcap(fileobj)
     finally:
+        stop_prom()
         _finish_obs(args, obs)
     print(
         "Wrote %d captured packets to %s"
@@ -315,12 +425,14 @@ def cmd_probe(args: argparse.Namespace) -> int:
         obs=obs,
     )
     prober = Prober(lab.loop, lab.network)
+    stop_prom = _start_prom(args, obs, loop=lab.loop)
     try:
         if obs.metrics is not None:
             with obs.metrics.time_block("probe.%s" % args.experiment):
                 return _run_probe(args, lab, prober)
         return _run_probe(args, lab, prober)
     finally:
+        stop_prom()
         _finish_obs(args, obs)
 
 
@@ -365,8 +477,87 @@ def _run_probe(args: argparse.Namespace, lab, prober) -> int:
     return 0
 
 
+def _flatten_snapshot(snapshot: dict) -> dict:
+    """One (section, metric, label-key) → value map per snapshot.
+
+    Histogram series flatten to their ``count``/``sum``; timers to
+    ``seconds``/``calls``.  This is the comparison domain of ``--diff``.
+    """
+    flat: dict = {}
+    for section in ("counters", "gauges"):
+        for name, body in snapshot.get(section, {}).items():
+            for key, value in body["values"].items():
+                flat[(section, name, key)] = value
+    for name, body in snapshot.get("histograms", {}).items():
+        for key, series in body["values"].items():
+            flat[("histograms", name + ".count", key)] = series["count"]
+            flat[("histograms", name + ".sum", key)] = series["sum"]
+    for stage, entry in snapshot.get("timers", {}).items():
+        flat[("timers", stage + ".seconds", "")] = entry["seconds"]
+        flat[("timers", stage + ".calls", "")] = entry["calls"]
+    return flat
+
+
+def _format_delta_value(value: float) -> str:
+    if value == int(value):
+        return "%+d" % value if value else "0"
+    return "%+.3f" % value
+
+
+def cmd_stats_diff(path_a: str, path_b: str) -> int:
+    """Per-metric deltas between two ``--metrics`` snapshots (B minus A)."""
+    flat_a = _flatten_snapshot(load_snapshot(path_a))
+    flat_b = _flatten_snapshot(load_snapshot(path_b))
+    if not flat_a and not flat_b:
+        print("neither file contains metrics sections (not --metrics snapshots?)")
+        return 1
+    rows = []
+    unchanged = 0
+    for key in sorted(set(flat_a) | set(flat_b)):
+        _section, name, labels = key
+        a_value = flat_a.get(key)
+        b_value = flat_b.get(key)
+        delta = (b_value or 0) - (a_value or 0)
+        if a_value is not None and b_value is not None and not delta:
+            unchanged += 1
+            continue
+        if a_value is None:
+            change = "new"
+        elif b_value is None:
+            change = "gone"
+        elif a_value:
+            change = "%+.1f%%" % (100.0 * delta / a_value)
+        else:
+            change = "-"
+        rows.append(
+            [
+                name,
+                labels or "-",
+                "-" if a_value is None else a_value,
+                "-" if b_value is None else b_value,
+                _format_delta_value(delta),
+                change,
+            ]
+        )
+    if rows:
+        print(
+            render_table(
+                ["metric", "labels", "A", "B", "delta", "change"],
+                rows,
+                title="Snapshot diff: %s -> %s" % (path_a, path_b),
+            )
+        )
+    print("%d changed, %d unchanged" % (len(rows), unchanged))
+    return 0
+
+
 def cmd_stats(args: argparse.Namespace) -> int:
     """Pretty-print a metrics snapshot written by ``--metrics``."""
+    if args.diff:
+        return cmd_stats_diff(args.diff[0], args.diff[1])
+    if not args.metrics_file:
+        print("repro stats: give a snapshot file, or --diff A.json B.json")
+        return 2
     snapshot = load_snapshot(args.metrics_file)
     if not any(
         snapshot.get(section)
@@ -422,6 +613,69 @@ def cmd_stats(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_trace_summarize(args: argparse.Namespace) -> int:
+    """Per-category counts and top event names of a JSONL trace."""
+    categories: dict = {}
+    names: dict = {}
+    estimated: dict = {}
+    total = 0
+    first_time = last_time = None
+    for event in read_trace(args.trace_file):
+        total += 1
+        category = event.get("category", "?")
+        key = "%s:%s" % (category, event.get("name", "?"))
+        categories[category] = categories.get(category, 0) + 1
+        names[key] = names.get(key, 0) + 1
+        # Sampled events carry their thinning factor; rescale to estimate
+        # the pre-sampling event volume.
+        weight = event.get("data", {}).get("sampled", 1)
+        estimated[key] = estimated.get(key, 0) + weight
+        time = event.get("time", 0.0)
+        first_time = time if first_time is None else min(first_time, time)
+        last_time = time if last_time is None else max(last_time, time)
+    if not total:
+        print("%s: no events" % args.trace_file)
+        return 1
+    sampled = sum(estimated.values()) > total
+    print(
+        "%s: %d events, %d types, sim time %.3f..%.3f s%s"
+        % (
+            args.trace_file,
+            total,
+            len(names),
+            first_time,
+            last_time,
+            " (sampled; estimated %d pre-sampling)" % sum(estimated.values())
+            if sampled
+            else "",
+        )
+    )
+    print()
+    print(
+        render_histogram(
+            sorted(categories.items(), key=lambda item: -item[1]),
+            width=30,
+            title="Events per category",
+        )
+    )
+    print()
+    top = sorted(names.items(), key=lambda item: (-item[1], item[0]))[: args.top]
+    headers = ["event", "count", "share"]
+    rows = [
+        [key, count, "%.1f%%" % (100.0 * count / total)] for key, count in top
+    ]
+    if sampled:
+        headers.append("estimated")
+        for row, (key, _count) in zip(rows, top):
+            row.append(estimated[key])
+    print(
+        render_table(
+            headers, rows, title="Top %d event types" % len(rows)
+        )
+    )
+    return 0
+
+
 # ---------------------------------------------------------------------------
 # Entry point
 # ---------------------------------------------------------------------------
@@ -440,6 +694,7 @@ def build_parser() -> argparse.ArgumentParser:
     simulate.add_argument("--scale", type=float, default=0.25)
     simulate.add_argument("--seed", type=int, default=20220101)
     _add_obs_flags(simulate)
+    _add_prom_flags(simulate)
     simulate.set_defaults(func=cmd_simulate)
 
     classify = sub.add_parser("classify", help="sanitize a pcap, print stats")
@@ -471,11 +726,35 @@ def build_parser() -> argparse.ArgumentParser:
     probe.add_argument("--handshakes", type=int, default=500)
     probe.add_argument("--seed", type=int, default=7)
     _add_obs_flags(probe)
+    _add_prom_flags(probe)
     probe.set_defaults(func=cmd_probe)
 
-    stats = sub.add_parser("stats", help="pretty-print a --metrics snapshot")
-    stats.add_argument("metrics_file", help="metrics JSON written by --metrics")
+    stats = sub.add_parser(
+        "stats", help="pretty-print a --metrics snapshot, or diff two"
+    )
+    stats.add_argument(
+        "metrics_file",
+        nargs="?",
+        help="metrics JSON written by --metrics",
+    )
+    stats.add_argument(
+        "--diff",
+        nargs=2,
+        metavar=("A.json", "B.json"),
+        help="print per-metric deltas (and %% change) between two snapshots",
+    )
     stats.set_defaults(func=cmd_stats)
+
+    trace = sub.add_parser("trace", help="inspect qlog-style JSONL traces")
+    trace_sub = trace.add_subparsers(dest="trace_command", required=True)
+    summarize = trace_sub.add_parser(
+        "summarize", help="per-category counts and top event names"
+    )
+    summarize.add_argument("trace_file", help="JSONL trace written by --trace")
+    summarize.add_argument(
+        "--top", type=int, default=15, help="how many event types to list"
+    )
+    summarize.set_defaults(func=cmd_trace_summarize)
     return parser
 
 

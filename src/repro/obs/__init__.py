@@ -11,12 +11,23 @@ from __future__ import annotations
 
 from typing import Optional
 
+from repro.obs.export import (
+    MetricsHttpExporter,
+    PromFileWriter,
+    render_prometheus,
+    start_http_exporter,
+)
 from repro.obs.metrics import (
     Counter,
     Gauge,
     Histogram,
     MetricsRegistry,
     load_snapshot,
+)
+from repro.obs.sinks import (
+    DEFAULT_ALWAYS_KEEP,
+    RingBufferTracer,
+    SamplingTracer,
 )
 from repro.obs.trace import (
     CAT_CONNECTIVITY,
@@ -42,8 +53,15 @@ __all__ = [
     "Tracer",
     "NullTracer",
     "JsonlTracer",
+    "SamplingTracer",
+    "RingBufferTracer",
+    "DEFAULT_ALWAYS_KEEP",
     "NULL_TRACER",
     "read_trace",
+    "render_prometheus",
+    "PromFileWriter",
+    "MetricsHttpExporter",
+    "start_http_exporter",
     "Counter",
     "Gauge",
     "Histogram",

@@ -24,6 +24,7 @@ from __future__ import annotations
 
 import json
 import time as _wall
+import warnings
 from typing import IO, Iterable, Optional
 
 # Two-level event taxonomy (category half of "category:name").
@@ -118,9 +119,24 @@ class JsonlTracer(Tracer):
 
 
 def read_trace(path: str) -> Iterable[dict]:
-    """Parse a JSONL trace back into event dicts (for tests and tooling)."""
+    """Parse a JSONL trace back into event dicts (for tests and tooling).
+
+    A process killed mid-write leaves a truncated final line; that tail is
+    skipped with a :class:`RuntimeWarning` instead of raising
+    ``json.JSONDecodeError``, so a crash dump stays loadable.
+    """
     with open(path) as fileobj:
-        for line in fileobj:
+        for lineno, line in enumerate(fileobj, start=1):
             line = line.strip()
-            if line:
+            if not line:
+                continue
+            try:
                 yield json.loads(line)
+            except json.JSONDecodeError:
+                warnings.warn(
+                    "%s:%d: undecodable trace tail skipped (truncated write?)"
+                    % (path, lineno),
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+                return

@@ -73,6 +73,12 @@ from repro.tls.handshake import ServerHello, encode_handshake
 #: Marker introducing the certificate blob inside Handshake CRYPTO data.
 CERT_MAGIC = b"CRT1"
 
+#: ``transport.datagram_bytes`` buckets.  The inner bounds sit exactly on
+#: the profiles' characteristic padded sizes (1052/1200/1232/1242/1252),
+#: so Figure 7's length signatures can be read straight off the metrics
+#: without a pcap pass.
+DATAGRAM_LENGTH_BOUNDS = (200, 600, 1000, 1052, 1200, 1232, 1242, 1252, 1300, 1500)
+
 
 class ConnState(enum.Enum):
     AWAIT_CLIENT = 1  # flight sent, waiting for client Handshake/ACK
@@ -169,6 +175,22 @@ class QuicServerEngine:
             if obs.metrics is not None
             else None
         )
+        # Flight-level transport telemetry (ROADMAP: per-flight byte counts
+        # so Figure 7 cross-checks need no pcap pass).
+        if obs.metrics is not None:
+            self._m_datagrams = obs.metrics.counter(
+                "transport.datagrams_sent", ("profile",)
+            )
+            self._m_flight_bytes = obs.metrics.counter(
+                "transport.flight_bytes", ("profile",)
+            )
+            self._m_datagram_bytes = obs.metrics.histogram(
+                "transport.datagram_bytes", DATAGRAM_LENGTH_BOUNDS, ("profile",)
+            )
+        else:
+            self._m_datagrams = None
+            self._m_flight_bytes = None
+            self._m_datagram_bytes = None
         self._suite = suite_by_name(profile.protection_suite)
         #: Connections addressable by the server-chosen CID.
         self._by_scid: dict[bytes, ServerConnection] = {}
@@ -556,6 +578,7 @@ class QuicServerEngine:
                 is_server=True,
                 pad_to=profile.coalesced_datagram_size,
             )
+            lengths = [len(data)]
             self._reply(request, conn.vip, data)
         else:
             first = encode_datagram(
@@ -570,10 +593,17 @@ class QuicServerEngine:
                 is_server=True,
                 pad_to=profile.handshake_datagram_size,
             )
+            lengths = [len(first), len(second)]
             self._reply(request, conn.vip, first)
             self._reply(request, conn.vip, second)
         self.stats.flights_sent += 1
         self._count("flights_sent")
+        if self._m_datagrams is not None:
+            key = (profile.name,)
+            self._m_datagrams.inc_key(key, len(lengths))
+            self._m_flight_bytes.inc_key(key, sum(lengths))
+            for length in lengths:
+                self._m_datagram_bytes.observe_key(key, length)
         if self._tracer.enabled:
             self._tracer.emit(
                 CAT_TRANSPORT,
@@ -583,6 +613,16 @@ class QuicServerEngine:
                 cid=conn.scid.hex(),
                 dst_ip=request.src_ip,
                 coalesced=conn.coalesced,
+            )
+            self._tracer.emit(
+                CAT_TRANSPORT,
+                "datagrams_sent",
+                time=self.loop.now,
+                cid=conn.scid.hex(),
+                coalesced=conn.coalesced,
+                lengths=lengths,
+                bytes=sum(lengths),
+                packets=2,
             )
 
     def _send_version_negotiation(self, request: UdpDatagram, parsed) -> None:

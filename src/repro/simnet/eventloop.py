@@ -18,13 +18,20 @@ _QUEUE_DEPTH_BOUNDS = (1, 10, 100, 1_000, 10_000, 100_000, 1_000_000)
 class Event:
     """Handle for a scheduled callback; cancellable until it fires."""
 
-    __slots__ = ("time", "seq", "callback", "cancelled")
+    __slots__ = ("time", "seq", "callback", "cancelled", "periodic")
 
-    def __init__(self, time: float, seq: int, callback: Callable[[], None]) -> None:
+    def __init__(
+        self,
+        time: float,
+        seq: int,
+        callback: Callable[[], None],
+        periodic: bool = False,
+    ) -> None:
         self.time = time
         self.seq = seq
         self.callback = callback
         self.cancelled = False
+        self.periodic = periodic
 
     def cancel(self) -> None:
         self.cancelled = True
@@ -36,20 +43,57 @@ class Event:
 class EventLoop:
     """Min-heap scheduler; ties broken by insertion order (deterministic)."""
 
-    def __init__(self, obs: Observability | None = None) -> None:
+    def __init__(
+        self,
+        obs: Observability | None = None,
+        queue_depth_sample_shift: int = _SAMPLE_SHIFT,
+    ) -> None:
+        if queue_depth_sample_shift < 0:
+            raise ValueError(
+                "queue_depth_sample_shift must be >= 0 (got %r)"
+                % queue_depth_sample_shift
+            )
         self._heap: list[Event] = []
         self._seq = itertools.count()
         self.now = 0.0
         self.events_processed = 0
         self.obs = obs or NULL_OBS
+        #: ``sim.queue_depth`` is observed every 2**shift processed events.
+        self.queue_depth_sample_shift = queue_depth_sample_shift
+        #: Non-periodic events currently in the heap (periodic ticks re-arm
+        #: only while this is non-zero, so ``run()`` still drains).
+        self._live_normal = 0
 
-    def schedule(self, delay: float, callback: Callable[[], None]) -> Event:
+    def schedule(
+        self, delay: float, callback: Callable[[], None], periodic: bool = False
+    ) -> Event:
         """Run ``callback`` ``delay`` seconds from the current time."""
         if delay < 0:
             raise ValueError("cannot schedule into the past (delay=%r)" % delay)
-        event = Event(self.now + delay, next(self._seq), callback)
+        event = Event(self.now + delay, next(self._seq), callback, periodic=periodic)
         heapq.heappush(self._heap, event)
+        if not periodic:
+            self._live_normal += 1
         return event
+
+    def schedule_periodic(
+        self, interval: float, callback: Callable[[], None]
+    ) -> Event:
+        """Run ``callback`` every ``interval`` sim-seconds while work remains.
+
+        Periodic ticks (exporter flushes, watchdogs) re-arm themselves only
+        while non-periodic events are pending, so they observe a running
+        simulation without keeping the queue alive forever.
+        """
+        if interval <= 0:
+            raise ValueError("periodic interval must be > 0 (got %r)" % interval)
+
+        def fire() -> None:
+            callback()
+            if self._live_normal:
+                self.schedule(interval, fire, periodic=True)
+
+        return self.schedule(interval, fire, periodic=True)
 
     def schedule_at(self, time: float, callback: Callable[[], None]) -> Event:
         """Run ``callback`` at absolute simulated ``time``."""
@@ -58,13 +102,17 @@ class EventLoop:
     def peek_time(self) -> Optional[float]:
         """Time of the next pending event, skipping cancelled ones."""
         while self._heap and self._heap[0].cancelled:
-            heapq.heappop(self._heap)
+            popped = heapq.heappop(self._heap)
+            if not popped.periodic:
+                self._live_normal -= 1
         return self._heap[0].time if self._heap else None
 
     def step(self) -> bool:
         """Execute the next event; returns False if the queue is empty."""
         while self._heap:
             event = heapq.heappop(self._heap)
+            if not event.periodic:
+                self._live_normal -= 1
             if event.cancelled:
                 continue
             self.now = event.time
@@ -111,7 +159,7 @@ class EventLoop:
         start_wall = _wall.perf_counter()
         start_now = self.now
         count = 0
-        sample_mask = (1 << _SAMPLE_SHIFT) - 1
+        sample_mask = (1 << self.queue_depth_sample_shift) - 1
         exhausted = False
         while self.step():
             count += 1

@@ -86,6 +86,9 @@ class ScenarioConfig:
     telescope_prefix: str = "44.0.0.0/9"
     suite: str = "fast"
     window: float = 900.0  # seconds of simulated capture
+    #: ``sim.queue_depth`` is sampled every 2**shift events; raise this as
+    #: event rates grow past ~10^7/run to keep the histogram cheap.
+    queue_depth_sample_shift: int = 10
     # --- deployment sizes -------------------------------------------------
     facebook_clusters: int = 6
     facebook_vips_per_cluster: int = 22
@@ -266,7 +269,7 @@ def build_scenario(
     config = config or ScenarioConfig()
     obs = obs or NULL_OBS
     rng = random.Random(config.seed)
-    loop = EventLoop(obs)
+    loop = EventLoop(obs, queue_depth_sample_shift=config.queue_depth_sample_shift)
     network = Network(loop, random.Random(config.seed ^ 0xBEEF), PathModel(), obs=obs)
     telescope = Telescope(prefix=config.telescope_prefix, obs=obs)
     network.add_device(telescope)

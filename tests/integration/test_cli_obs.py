@@ -108,3 +108,110 @@ class TestStatsCommand:
         snapshot = load_snapshot(out)
         for stage in ("read_pcap", "classify", "analyze"):
             assert stage in snapshot["timers"]
+
+
+class TestStatsDiff:
+    def test_diff_reports_deltas_and_percentages(self, traced_run, tmp_path, capsys):
+        _pcap, _trace, metrics = traced_run
+        other_pcap = str(tmp_path / "small.pcap")
+        other_metrics = str(tmp_path / "small.metrics.json")
+        assert main(
+            ["simulate", other_pcap, "--scale", "0.02", "--seed", "42",
+             "--metrics", other_metrics]
+        ) == 0
+        assert main(["stats", "--diff", metrics, other_metrics]) == 0
+        out = capsys.readouterr().out
+        assert "Snapshot diff" in out
+        assert "net.delivered" in out
+        assert "%" in out
+        assert "changed," in out and "unchanged" in out
+
+    def test_diff_identical_snapshots(self, traced_run, capsys):
+        _pcap, _trace, metrics = traced_run
+        assert main(["stats", "--diff", metrics, metrics]) == 0
+        out = capsys.readouterr().out
+        assert "0 changed" in out
+
+    def test_stats_without_args_errors(self, capsys):
+        assert main(["stats"]) == 2
+        assert "--diff" in capsys.readouterr().out
+
+
+class TestTraceSummarize:
+    def test_summarize_full_trace(self, traced_run, capsys):
+        _pcap, trace, _metrics = traced_run
+        assert main(["trace", "summarize", trace]) == 0
+        out = capsys.readouterr().out
+        assert "events" in out and "types" in out
+        assert "Events per category" in out
+        assert "Top" in out
+        assert "transport:" in out
+
+    def test_summarize_missing_events(self, tmp_path, capsys):
+        empty = str(tmp_path / "empty.jsonl")
+        open(empty, "w").close()
+        assert main(["trace", "summarize", empty]) == 1
+
+
+class TestAlwaysOnSinks:
+    @pytest.fixture(scope="class")
+    def sampled_run(self, tmp_path_factory):
+        """simulate with sampling, a ring dump, and Prometheus file export."""
+        root = tmp_path_factory.mktemp("sinks")
+        pcap = str(root / "s.pcap")
+        trace = str(root / "s.qlog.jsonl")
+        ring = str(root / "ring.qlog.jsonl")
+        prom = str(root / "repro.prom")
+        assert main(
+            ["simulate", pcap, "--scale", "0.05", "--seed", "42",
+             "--trace", trace, "--trace-sample", "16", "--prom-file", prom]
+        ) == 0
+        ring_pcap = str(root / "r.pcap")
+        assert main(
+            ["simulate", ring_pcap, "--scale", "0.05", "--seed", "42",
+             "--trace", ring, "--trace-ring", "256"]
+        ) == 0
+        return pcap, trace, ring, prom
+
+    def test_sampled_trace_is_thinner_but_typed(self, traced_run, sampled_run):
+        _pcap, full_trace, _metrics = traced_run
+        _pcap2, sampled_trace, _ring, _prom = sampled_run
+        full = list(read_trace(full_trace))
+        sampled = list(read_trace(sampled_trace))
+        assert 0 < len(sampled) < len(full) / 2
+        assert all("sampled" in e.get("data", {}) for e in sampled)
+
+    def test_sampling_does_not_perturb_simulation(self, traced_run, sampled_run):
+        pcap_full, _trace, _metrics = traced_run
+        pcap_sampled, _strace, _ring, _prom = sampled_run
+        with open(pcap_full, "rb") as a, open(pcap_sampled, "rb") as b:
+            assert a.read() == b.read()
+
+    def test_summarize_reports_presampling_estimate(self, sampled_run, capsys):
+        _pcap, trace, _ring, _prom = sampled_run
+        assert main(["trace", "summarize", trace]) == 0
+        out = capsys.readouterr().out
+        assert "sampled; estimated" in out
+        assert "estimated" in out  # rescaled column present
+
+    def test_ring_dump_holds_last_events(self, sampled_run):
+        _pcap, _trace, ring, _prom = sampled_run
+        events = list(read_trace(ring))
+        assert len(events) == 256
+        # the dump is the tail of the run: run_end is in the window
+        assert events[-1]["category"] == "sim"
+        assert events[-1]["name"] == "run_end"
+
+    def test_prom_file_written_with_transport_counters(self, sampled_run):
+        _pcap, _trace, _ring, prom = sampled_run
+        with open(prom) as fileobj:
+            content = fileobj.read()
+        assert "# TYPE transport_datagrams_sent_total counter" in content
+        assert "transport_datagrams_sent_total{profile=" in content
+        assert "transport_datagram_bytes_bucket" in content
+        assert "net_delivered_total" in content
+
+    def test_ring_without_trace_file_rejected(self, tmp_path):
+        pcap = str(tmp_path / "x.pcap")
+        with pytest.raises(SystemExit):
+            main(["simulate", pcap, "--scale", "0.02", "--trace-ring", "64"])

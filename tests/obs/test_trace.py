@@ -3,6 +3,8 @@
 import io
 import json
 
+import pytest
+
 from repro.obs import NULL_OBS, JsonlTracer, NullTracer, Observability
 from repro.obs.trace import CAT_TRANSPORT, read_trace
 
@@ -58,6 +60,19 @@ class TestJsonlTracer:
         assert len(events) == 1
         assert events[0]["name"] == "capture"
         assert events[0]["data"]["bytes"] == 1200
+
+    def test_read_trace_skips_truncated_tail_with_warning(self, tmp_path):
+        """A crash mid-write leaves a torn last line; the rest stays loadable."""
+        path = str(tmp_path / "crash.jsonl")
+        tracer = JsonlTracer.to_path(path)
+        tracer.emit("sim", "run_start", time=0.0)
+        tracer.emit("telescope", "capture", time=1.0, bytes=64)
+        tracer.close()
+        with open(path, "a") as fileobj:
+            fileobj.write('{"time": 2.0, "category": "telesc')  # torn write
+        with pytest.warns(RuntimeWarning, match="truncated"):
+            events = list(read_trace(path))
+        assert [e["name"] for e in events] == ["run_start", "capture"]
 
 
 class TestNullTracer:
