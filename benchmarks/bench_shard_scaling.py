@@ -1,0 +1,181 @@
+"""Shard scaling — wall-clock vs workers, with the determinism invariant.
+
+Times a telescope month serially and under ``simulate_sharded`` at several
+worker counts, recording the results in ``BENCH_shard.json`` at the repo
+root (wall seconds, records, speedup ratios, and the CPU count of the
+measuring machine).
+
+Two classes of assertion, deliberately separated:
+
+* **Determinism** — always checked, on any machine: the merged capture
+  must contain exactly the serial run's records in the canonical
+  ``(ts_sec, ts_usec, data)`` order, and the merged pcap must be
+  byte-identical across worker counts.
+* **Speedup** — checked only when the machine can physically deliver it
+  (``cpus >= 2``): 4 workers must reach >=2x over serial at scale >= 0.5.
+  On a single-core container the workers time-slice one CPU, so the
+  bench still runs and records the honest (~1x or worse) numbers, but a
+  speedup assertion there would only measure the scheduler.
+
+Run under pytest (``pytest benchmarks/bench_shard_scaling.py``) or as a
+script — ``python benchmarks/bench_shard_scaling.py --check`` re-measures
+and exits non-zero on violations.  ``--scale`` overrides the default
+bench scale (0.5; the REPRO_BENCH_SCALE env var is honoured too).
+"""
+
+import argparse
+import json
+import os
+import sys
+import tempfile
+import time
+
+from repro.netstack.pcap import read_pcap, record_sort_key
+from repro.simnet.shard import run_shard, simulate_sharded
+from repro.workloads.scenario import ScenarioConfig
+
+BENCH_PATH = os.path.join(os.path.dirname(__file__), os.pardir, "BENCH_shard.json")
+DEFAULT_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.5"))
+WORKER_COUNTS = (2, 4)
+SEED = 20220101
+MIN_SPEEDUP_4W = 2.0
+#: Speedup is only asserted at or above this scale on multi-core machines.
+MIN_SCALE_FOR_SPEEDUP = 0.5
+
+
+def _cpus():
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+def run_bench(scale=DEFAULT_SCALE):
+    """Measure serial + sharded runs, persist ``BENCH_shard.json``."""
+    config = ScenarioConfig(seed=SEED).scaled(scale)
+    cpus = _cpus()
+
+    start = time.perf_counter()
+    serial_records = run_shard(config)
+    serial_seconds = time.perf_counter() - start
+    serial_keys = [record_sort_key(r) for r in serial_records]
+
+    results = {
+        "scale": scale,
+        "seed": SEED,
+        "cpus": cpus,
+        "serial": {
+            "seconds": round(serial_seconds, 3),
+            "records": len(serial_records),
+        },
+        "workers": {},
+        "determinism": {},
+    }
+
+    merged_bytes = None
+    with tempfile.TemporaryDirectory() as tmp:
+        for workers in WORKER_COUNTS:
+            out = os.path.join(tmp, "w%d.pcap" % workers)
+            start = time.perf_counter()
+            run = simulate_sharded(config, workers=workers, output=out)
+            elapsed = time.perf_counter() - start
+            merged = read_pcap(out)
+            with open(out, "rb") as fileobj:
+                raw = fileobj.read()
+            if merged_bytes is None:
+                merged_bytes = raw
+            results["workers"][str(workers)] = {
+                "seconds": round(elapsed, 3),
+                "records": run.total_records,
+                "shards": len(run.shards),
+                "speedup": round(serial_seconds / elapsed, 3),
+            }
+            results["determinism"]["records_match_serial_%dw" % workers] = (
+                [record_sort_key(r) for r in merged] == serial_keys
+            )
+            results["determinism"]["pcap_identical_across_workers_%dw" % workers] = (
+                raw == merged_bytes
+            )
+
+    with open(BENCH_PATH, "w") as fileobj:
+        json.dump(results, fileobj, indent=2, sort_keys=True)
+        fileobj.write("\n")
+    return results
+
+
+def _render(results):
+    lines = [
+        "Shard scaling (scale %.2f, %d records, %d cpu%s):"
+        % (
+            results["scale"],
+            results["serial"]["records"],
+            results["cpus"],
+            "" if results["cpus"] == 1 else "s",
+        ),
+        "  %-10s %8.3fs" % ("serial", results["serial"]["seconds"]),
+    ]
+    for workers, arm in sorted(results["workers"].items(), key=lambda kv: int(kv[0])):
+        lines.append(
+            "  %-10s %8.3fs  (%.2fx)"
+            % ("%s workers" % workers, arm["seconds"], arm["speedup"])
+        )
+    if results["cpus"] < 2:
+        lines.append("  (single CPU: speedup not asserted, determinism only)")
+    return "\n".join(lines)
+
+
+def _check(results):
+    """Violations as human-readable strings (empty = pass)."""
+    failures = []
+    for name, held in results["determinism"].items():
+        if not held:
+            failures.append("determinism violated: %s" % name)
+    for workers, arm in results["workers"].items():
+        if arm["records"] != results["serial"]["records"]:
+            failures.append(
+                "%s workers captured %d records vs %d serial"
+                % (workers, arm["records"], results["serial"]["records"])
+            )
+    speedup_applies = (
+        results["cpus"] >= 2 and results["scale"] >= MIN_SCALE_FOR_SPEEDUP
+    )
+    if speedup_applies and results["workers"]["4"]["speedup"] < MIN_SPEEDUP_4W:
+        failures.append(
+            "4 workers reached %.2fx (< %.1fx) on %d cpus"
+            % (results["workers"]["4"]["speedup"], MIN_SPEEDUP_4W, results["cpus"])
+        )
+    return failures
+
+
+def test_shard_scaling(benchmark):
+    from conftest import report
+
+    results = benchmark.pedantic(run_bench, rounds=1, iterations=1)
+    report("shard_scaling", _render(results))
+    failures = _check(results)
+    assert not failures, "; ".join(failures)
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="exit non-zero on determinism/speedup violations (CI gate)",
+    )
+    parser.add_argument(
+        "--scale", type=float, default=DEFAULT_SCALE, help="scenario scale"
+    )
+    args = parser.parse_args(argv)
+    results = run_bench(scale=args.scale)
+    print(_render(results))
+    failures = _check(results)
+    for failure in failures:
+        print("FAIL: %s" % failure, file=sys.stderr)
+    if args.check and failures:
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

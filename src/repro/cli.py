@@ -234,6 +234,8 @@ def cmd_simulate(args: argparse.Namespace) -> int:
         else ScenarioConfig(seed=args.seed)
     )
     config = config.scaled(args.scale)
+    if args.workers > 1:
+        return _simulate_sharded(args, config)
     print("Simulating %d (scale %.2f, seed %d)…" % (args.year, args.scale, args.seed))
     obs = _make_obs(args)
     stop_prom = lambda: None  # noqa: E731 - trivial default finisher
@@ -258,6 +260,43 @@ def cmd_simulate(args: argparse.Namespace) -> int:
     print(
         "Wrote %d captured packets to %s"
         % (len(scenario.telescope.records), args.output)
+    )
+    return 0
+
+
+def _simulate_sharded(args: argparse.Namespace, config: ScenarioConfig) -> int:
+    """The ``--workers N`` (N >= 2) path: fork, run shards, merge.
+
+    The parent's registry receives the merged worker snapshots, so
+    ``--metrics``/``--prom-file`` report whole-run numbers (rendered
+    after the merge rather than live).  With ``--trace``, worker *k*
+    writes ``FILE.worker<k>`` and the parent trace records the shard
+    plan.  Same seed and scale ⇒ same merged pcap for any worker count.
+    """
+    from repro.simnet.shard import simulate_sharded
+
+    print(
+        "Simulating %d (scale %.2f, seed %d, %d workers)…"
+        % (args.year, args.scale, args.seed, args.workers)
+    )
+    obs = _make_obs(args)
+    stop_prom = _start_prom(args, obs)
+    try:
+        if obs.metrics is not None:
+            with obs.metrics.time_block("simulate"):
+                result = simulate_sharded(
+                    config, args.workers, args.output, obs=obs, trace_path=args.trace
+                )
+        else:
+            result = simulate_sharded(
+                config, args.workers, args.output, obs=obs, trace_path=args.trace
+            )
+    finally:
+        stop_prom()
+        _finish_obs(args, obs)
+    print(
+        "Wrote %d captured packets to %s (merged from %d shards)"
+        % (result.total_records, args.output, len(result.shards))
     )
     return 0
 
@@ -615,24 +654,35 @@ def cmd_stats(args: argparse.Namespace) -> int:
 
 def cmd_trace_summarize(args: argparse.Namespace) -> int:
     """Per-category counts and top event names of a JSONL trace."""
+    import warnings
+
     categories: dict = {}
     names: dict = {}
     estimated: dict = {}
     total = 0
     first_time = last_time = None
-    for event in read_trace(args.trace_file):
-        total += 1
-        category = event.get("category", "?")
-        key = "%s:%s" % (category, event.get("name", "?"))
-        categories[category] = categories.get(category, 0) + 1
-        names[key] = names.get(key, 0) + 1
-        # Sampled events carry their thinning factor; rescale to estimate
-        # the pre-sampling event volume.
-        weight = event.get("data", {}).get("sampled", 1)
-        estimated[key] = estimated.get(key, 0) + weight
-        time = event.get("time", 0.0)
-        first_time = time if first_time is None else min(first_time, time)
-        last_time = time if last_time is None else max(last_time, time)
+    # ``read_trace`` signals a truncated tail with a RuntimeWarning.  The
+    # default warning printer already targets stderr, but it is silenced
+    # by -W ignore / PYTHONWARNINGS and captured wholesale under test
+    # runners; catching and re-printing makes the notice reach stderr
+    # unconditionally while keeping stdout parseable.
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        for event in read_trace(args.trace_file):
+            total += 1
+            category = event.get("category", "?")
+            key = "%s:%s" % (category, event.get("name", "?"))
+            categories[category] = categories.get(category, 0) + 1
+            names[key] = names.get(key, 0) + 1
+            # Sampled events carry their thinning factor; rescale to estimate
+            # the pre-sampling event volume.
+            weight = event.get("data", {}).get("sampled", 1)
+            estimated[key] = estimated.get(key, 0) + weight
+            time = event.get("time", 0.0)
+            first_time = time if first_time is None else min(first_time, time)
+            last_time = time if last_time is None else max(last_time, time)
+    for warning in caught:
+        print("warning: %s" % warning.message, file=sys.stderr)
     if not total:
         print("%s: no events" % args.trace_file)
         return 1
@@ -693,6 +743,15 @@ def build_parser() -> argparse.ArgumentParser:
     simulate.add_argument("--year", type=int, choices=(2021, 2022), default=2022)
     simulate.add_argument("--scale", type=float, default=0.25)
     simulate.add_argument("--seed", type=int, default=20220101)
+    simulate.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help="shard the scenario across N worker processes and merge the "
+        "captures into one time-ordered pcap (1 = serial; the merged "
+        "output is identical for any N at the same seed and scale)",
+    )
     _add_obs_flags(simulate)
     _add_prom_flags(simulate)
     simulate.set_defaults(func=cmd_simulate)

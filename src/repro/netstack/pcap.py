@@ -2,14 +2,17 @@
 
 Telescope captures are stored as standard pcap so they can be inspected
 with external tooling, and so the analysis pipeline can equally consume
-real-world raw-IP captures.
+real-world raw-IP captures.  :func:`merge_pcap_files` k-way-merges
+time-sorted per-worker captures (``repro simulate --workers N``) into one
+time-ordered file while holding only one record per input in memory.
 """
 
 from __future__ import annotations
 
+import heapq
 import struct
 from dataclasses import dataclass
-from typing import BinaryIO, Iterable, Iterator
+from typing import BinaryIO, Iterable, Iterator, Sequence, Union
 
 MAGIC = 0xA1B2C3D4
 MAGIC_SWAPPED = 0xD4C3B2A1
@@ -117,3 +120,47 @@ def read_pcap(path: str) -> list[PcapRecord]:
     """Convenience: read all records from ``path``."""
     with open(path, "rb") as fileobj:
         return list(PcapReader(fileobj))
+
+
+def record_sort_key(record: PcapRecord) -> tuple:
+    """The canonical capture order: quantized timestamp, then raw bytes.
+
+    Comparing the *quantized* (second, microsecond) pair rather than the
+    float timestamp guarantees that the order of records is preserved by
+    a write/read round-trip, and the ``data`` tie-break makes the order a
+    property of the record multiset alone — independent of how records
+    were partitioned across shard files.
+    """
+    return (record.ts_sec, record.ts_usec, record.data)
+
+
+def merge_pcap_files(
+    paths: Sequence[str], output: Union[str, BinaryIO]
+) -> int:
+    """K-way merge time-sorted pcap files into one time-ordered pcap.
+
+    Each input must already be sorted by :func:`record_sort_key` (shard
+    workers sort before writing); the merge then streams with one pending
+    record per input.  Returns the number of records written.
+    """
+    files = [open(path, "rb") for path in paths]
+    count = 0
+    try:
+        merged = heapq.merge(
+            *(iter(PcapReader(fileobj)) for fileobj in files), key=record_sort_key
+        )
+        if isinstance(output, str):
+            with open(output, "wb") as fileobj:
+                writer = PcapWriter(fileobj)
+                for record in merged:
+                    writer.write(record)
+                    count += 1
+        else:
+            writer = PcapWriter(output)
+            for record in merged:
+                writer.write(record)
+                count += 1
+    finally:
+        for fileobj in files:
+            fileobj.close()
+    return count

@@ -18,6 +18,16 @@ underscores, counters gain a ``_total`` suffix, histograms expose
 cumulative ``_bucket{le=…}`` series plus ``_sum``/``_count``, and stage
 timers surface as ``repro_stage_seconds_total``/``repro_stage_calls_total``
 labeled by stage.
+
+Multiprocess runs (``repro simulate --workers N``) keep a single
+exporter: worker registries never publish directly; the parent folds
+their snapshots in via
+:meth:`~repro.obs.metrics.MetricsRegistry.merge_snapshot`
+(pushgateway-style) and both publishers here render the aggregated
+registry.
+
+Key entry points: :func:`render_prometheus`, :class:`PromFileWriter`,
+:func:`start_http_exporter`.
 """
 
 from __future__ import annotations

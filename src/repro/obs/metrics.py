@@ -224,6 +224,7 @@ class MetricsRegistry:
                 h.name: {
                     "label_names": list(h.label_names),
                     "buckets": h.bucket_labels(),
+                    "bounds": list(h.bounds),
                     "values": {
                         KEY_SEP.join(k): {
                             "counts": list(s.counts),
@@ -240,6 +241,58 @@ class MetricsRegistry:
                 for stage, (seconds, calls) in sorted(self._timers.items())
             },
         }
+
+    @staticmethod
+    def _snapshot_key(label_names: Sequence[str], key_text: str) -> LabelKey:
+        """Invert the ``KEY_SEP`` join of :meth:`snapshot` value keys."""
+        if not label_names:
+            return ()
+        return tuple(key_text.split(KEY_SEP))
+
+    def merge_snapshot(self, snapshot: dict) -> None:
+        """Fold another registry's :meth:`snapshot` into this one.
+
+        This is the pushgateway-style aggregation step of a sharded run:
+        each worker process snapshots its registry, and the parent merges
+        the snapshots so the existing exporters (``--metrics``,
+        Prometheus file/HTTP) see whole-run numbers.  Counters, histogram
+        series, and stage timers add element-wise.  Gauges add too: the
+        gauges this pipeline sets (event totals, rates) are per-process
+        quantities whose only meaningful cross-process combination is the
+        sum — a last-writer-wins merge would report one arbitrary worker.
+        """
+        for name, body in snapshot.get("counters", {}).items():
+            counter = self.counter(name, tuple(body.get("label_names", ())))
+            for key_text, value in body.get("values", {}).items():
+                counter.inc_key(
+                    self._snapshot_key(counter.label_names, key_text), value
+                )
+        for name, body in snapshot.get("gauges", {}).items():
+            gauge = self.gauge(name, tuple(body.get("label_names", ())))
+            for key_text, value in body.get("values", {}).items():
+                key = self._snapshot_key(gauge.label_names, key_text)
+                gauge.set_key(key, gauge.values.get(key, 0) + value)
+        for name, body in snapshot.get("histograms", {}).items():
+            bounds = body.get("bounds")
+            if bounds is None:
+                raise ValueError(
+                    "histogram %r snapshot lacks 'bounds' "
+                    "(written by an older version?)" % name
+                )
+            hist = self.histogram(name, bounds, tuple(body.get("label_names", ())))
+            for key_text, series_body in body.get("values", {}).items():
+                key = self._snapshot_key(hist.label_names, key_text)
+                series = hist.series.get(key)
+                if series is None:
+                    series = hist.series[key] = _HistogramSeries(len(hist.bounds) + 1)
+                for index, bucket_count in enumerate(series_body["counts"]):
+                    series.counts[index] += bucket_count
+                series.count += series_body["count"]
+                series.sum += series_body["sum"]
+        for stage, entry in snapshot.get("timers", {}).items():
+            timer = self._timers.setdefault(stage, [0.0, 0])
+            timer[0] += entry["seconds"]
+            timer[1] += entry["calls"]
 
     def to_json(self, indent: Optional[int] = 2) -> str:
         return json.dumps(self.snapshot(), indent=indent, sort_keys=True)

@@ -123,7 +123,10 @@ def read_trace(path: str) -> Iterable[dict]:
 
     A process killed mid-write leaves a truncated final line; that tail is
     skipped with a :class:`RuntimeWarning` instead of raising
-    ``json.JSONDecodeError``, so a crash dump stays loadable.
+    ``json.JSONDecodeError``, so a crash dump stays loadable.  The warning
+    goes through the :mod:`warnings` machinery — never stdout — so
+    callers printing parseable output stay clean; CLI consumers catch it
+    and re-print to stderr (see ``cmd_trace_summarize``).
     """
     with open(path) as fileobj:
         for lineno, line in enumerate(fileobj, start=1):

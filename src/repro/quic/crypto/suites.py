@@ -182,9 +182,18 @@ class FastProtection(PacketProtection):
         # SHAKE-256 produces the whole keystream in one native call.
         return hashlib.shake_256(key + nonce).digest(length)
 
+    @staticmethod
+    def _xor(data: bytes, stream: bytes) -> bytes:
+        # Whole-buffer XOR via big-int arithmetic: one C-level operation
+        # instead of a per-byte generator, ~10x faster on the ~1.2 KB
+        # datagrams this suite seals millions of times per simulated month.
+        return (
+            int.from_bytes(data, "big") ^ int.from_bytes(stream, "big")
+        ).to_bytes(len(data), "big")
+
     def _seal(self, keys: DirectionKeys, nonce: bytes, plaintext: bytes, aad: bytes) -> bytes:
         stream = self._keystream(keys.key, nonce, len(plaintext))
-        ciphertext = bytes(p ^ s for p, s in zip(plaintext, stream))
+        ciphertext = self._xor(plaintext, stream)
         tag = hmac.new(keys.key, nonce + aad + ciphertext, hashlib.sha256).digest()
         return ciphertext + tag[:TAG_LENGTH]
 
@@ -198,7 +207,7 @@ class FastProtection(PacketProtection):
         if not hmac.compare_digest(tag, expected):
             raise AuthenticationError("tag mismatch")
         stream = self._keystream(keys.key, nonce, len(ciphertext))
-        return bytes(c ^ s for c, s in zip(ciphertext, stream))
+        return self._xor(ciphertext, stream)
 
     def _hp_mask(self, keys: DirectionKeys, sample: bytes) -> bytes:
         return hashlib.sha256(keys.hp + sample).digest()[:5]

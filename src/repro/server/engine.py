@@ -17,6 +17,7 @@ The engine implements the behaviours the telescope observes:
 from __future__ import annotations
 
 import enum
+import hashlib
 import random
 from dataclasses import dataclass, field
 from typing import Callable, Optional
@@ -109,6 +110,9 @@ class ServerConnection:
     #: Additional CIDs issued via NEW_CONNECTION_ID (sequence order).
     issued_cids: list[bytes] = field(default_factory=list)
     short_packet_number: int = 0
+    #: Private rng derived from the engine seed and the client's
+    #: (address, port, DCID) — see :meth:`QuicServerEngine._derive_rng`.
+    rng: Optional[random.Random] = None
 
     def consistent_with(self, datagram: UdpDatagram, client_scid: bytes) -> bool:
         """Does this packet plausibly continue the stored connection?"""
@@ -197,6 +201,13 @@ class QuicServerEngine:
         #: Dedup of client Initials: (src, sport, original dcid) → connection.
         self._by_origin: dict[tuple[int, int, bytes], ServerConnection] = {}
         self._max_retransmits = profile.draw_max_retransmits(rng)
+        # One construction-time draw seeds all per-connection randomness:
+        # each connection derives its own rng from (this seed, client ip,
+        # port, DCID), so every reply is a pure function of the arriving
+        # packet rather than of global event interleaving.  That property
+        # is what lets sharded multi-process runs merge into the exact
+        # capture a serial run produces.
+        self._conn_seed = rng.getrandbits(64)
         # CID rotation: echo schemes cannot mint *new* IDs (they only
         # reflect the client's DCID), so rotation falls back to random —
         # exactly the property that breaks migration under CID-aware
@@ -215,6 +226,12 @@ class QuicServerEngine:
     def _count(self, event: str) -> None:
         if self._m_events is not None:
             self._m_events.inc_key((event, self.profile.name))
+
+    def _derive_rng(self, src_ip: int, src_port: int, dcid: bytes) -> random.Random:
+        """An rng keyed by the engine seed and one client's identity."""
+        key = b"%d|%d|%d|" % (self._conn_seed, src_ip, src_port) + dcid
+        digest = hashlib.blake2b(key, digest_size=8).digest()
+        return random.Random(int.from_bytes(digest, "big"))
 
     def on_datagram(self, datagram: UdpDatagram, now: float) -> None:
         """Entry point: one UDP datagram addressed to this worker."""
@@ -303,12 +320,13 @@ class QuicServerEngine:
         if parsed.version not in self.profile.supported_versions:
             self._send_version_negotiation(datagram, parsed)
             return
+        conn_rng = self._derive_rng(datagram.src_ip, datagram.src_port, parsed.dcid)
         if (
             self.profile.retry_probability
             and not parsed.token
-            and self.rng.random() < self.profile.retry_probability
+            and conn_rng.random() < self.profile.retry_probability
         ):
-            self._send_retry(datagram, parsed)
+            self._send_retry(datagram, parsed, conn_rng)
             return
 
         context = CidContext(
@@ -317,7 +335,7 @@ class QuicServerEngine:
             process_id=self.process_id,
             client_dcid=parsed.dcid,
         )
-        scid = self.profile.cid_scheme.generate(self.rng, context)
+        scid = self.profile.cid_scheme.generate(conn_rng, context)
         protection = self._suite(parsed.version, parsed.dcid)
         conn = ServerConnection(
             scid=scid,
@@ -331,7 +349,8 @@ class QuicServerEngine:
             created_at=now,
             last_active=now,
             max_retransmits=self._max_retransmits,
-            coalesced=self.rng.random() < self.profile.coalesce_probability,
+            coalesced=conn_rng.random() < self.profile.coalesce_probability,
+            rng=conn_rng,
         )
         self._by_scid[scid] = conn
         self._by_origin[origin_key] = conn
@@ -408,7 +427,8 @@ class QuicServerEngine:
             process_id=self.process_id,
             client_dcid=conn.original_dcid,
         )
-        new_cid = self._rotation_scheme.generate(self.rng, context)
+        rng = conn.rng if conn.rng is not None else self.rng
+        new_cid = self._rotation_scheme.generate(rng, context)
         if new_cid in self._by_scid:
             return  # astronomically unlikely collision; skip the rotation
         conn.issued_cids.append(new_cid)
@@ -427,7 +447,7 @@ class QuicServerEngine:
             sequence_number=len(conn.issued_cids),
             retire_prior_to=0,
             connection_id=new_cid,
-            stateless_reset_token=self.rng.getrandbits(128).to_bytes(16, "big"),
+            stateless_reset_token=rng.getrandbits(128).to_bytes(16, "big"),
         )
         self._send_short(conn, [frame], None)
 
@@ -461,10 +481,11 @@ class QuicServerEngine:
 
     def _send_stateless_reset(self, request: UdpDatagram, dcid: bytes) -> None:
         """RFC 9000 §10.3: unpredictable bytes ending in a reset token."""
+        rng = self._derive_rng(request.src_ip, request.src_port, dcid)
         filler_len = max(5, 22 - 16)
-        filler = bytearray(self.rng.getrandbits(8 * filler_len).to_bytes(filler_len, "big"))
+        filler = bytearray(rng.getrandbits(8 * filler_len).to_bytes(filler_len, "big"))
         filler[0] = 0x40 | (filler[0] & 0x3F)  # looks like a short header
-        token = self.rng.getrandbits(128).to_bytes(16, "big")
+        token = rng.getrandbits(128).to_bytes(16, "big")
         self._reply(request, request.dst_ip, bytes(filler) + token)
         self.stats.stateless_resets_sent += 1
         self._count("stateless_resets_sent")
@@ -529,8 +550,9 @@ class QuicServerEngine:
         params.set(MAX_IDLE_TIMEOUT, int(self.profile.idle_timeout * 1000))
         params.set(MAX_UDP_PAYLOAD_SIZE, 1472)
         params.set(ACTIVE_CONNECTION_ID_LIMIT, 4)
+        rng = conn.rng if conn.rng is not None else self.rng
         hello = ServerHello(
-            random=self.rng.getrandbits(256).to_bytes(32, "big"),
+            random=rng.getrandbits(256).to_bytes(32, "big"),
             quic_transport_parameters=params.encode(),
         )
         return encode_handshake(hello)
@@ -643,15 +665,19 @@ class QuicServerEngine:
                 dst_ip=request.src_ip,
             )
 
-    def _send_retry(self, request: UdpDatagram, parsed) -> None:
+    def _send_retry(
+        self, request: UdpDatagram, parsed, rng: random.Random | None = None
+    ) -> None:
+        if rng is None:
+            rng = self._derive_rng(request.src_ip, request.src_port, parsed.dcid)
         context = CidContext(
             host_id=self.host_id,
             worker_id=self.worker_id,
             process_id=self.process_id,
             client_dcid=parsed.dcid,
         )
-        scid = self.profile.cid_scheme.generate(self.rng, context)
-        token = b"retry-" + self.rng.getrandbits(64).to_bytes(8, "big")
+        scid = self.profile.cid_scheme.generate(rng, context)
+        token = b"retry-" + rng.getrandbits(64).to_bytes(8, "big")
         packet = RetryPacket(
             version=parsed.version, dcid=parsed.scid, scid=scid, retry_token=token
         )

@@ -5,6 +5,16 @@ several L4LBs via ECMP; every L4LB shares the same Maglev view of the
 cluster's L7 hosts, so the choice of L4LB is invisible.  Host IDs are
 unique *within* a cluster (the paper finds host IDs reused across off-net
 deployments but unique per on-net cluster).
+
+ECMP is a SHA-256 of the flow 5-tuple — stateless and order-independent,
+like the Maglev and worker-selection stages below it — so the whole
+dispatch path is a pure function of the packet.  Sharded simulation
+(``repro.simnet.shard``) leans on exactly this: any worker process
+replays the same packet → same L4LB → same L7 host → same engine chain.
+
+Key classes: :class:`FrontendCluster` (this module),
+:class:`~repro.server.lb.l4lb.L4LoadBalancer`,
+:class:`~repro.server.lb.l7lb.L7LbHost`.
 """
 
 from __future__ import annotations

@@ -9,6 +9,12 @@ that host unchanged.
 Routing 1-RTT (short-header) packets requires knowing the CID length the
 deployment uses: short headers do not carry it (paper §2.2), which is why
 ``cid_length`` is part of the balancer's configuration.
+
+Key classes: :class:`L4LoadBalancer` (this module),
+:class:`~repro.server.lb.maglev.MaglevTable` (the backend-selection
+table), :class:`~repro.quic.cid.quic_lb.QuicLbScheme` counterparts for
+routable CIDs.  All selection is hashing over packet fields; nothing
+here draws from an rng at dispatch time.
 """
 
 from __future__ import annotations

@@ -5,6 +5,17 @@ unique ``host_id`` (encoded into mvfst SCIDs); each host runs several
 worker processes, and connection state lives *per worker* — matching the
 paper's finding that "Facebook server instances track QUIC connection
 states per host and worker".
+
+Worker selection hashes the first CID bytes (long headers) or the
+5-tuple (short headers) — no shared random state — and engines are
+created lazily from a per-host seed XOR the worker id.  Both properties
+make dispatch and engine behaviour independent of packet arrival order,
+which is what allows ``repro.simnet.shard`` to split a scenario across
+processes and still merge back the exact serial capture.
+
+Key classes: :class:`L7LbHost` (this module),
+:class:`~repro.server.engine.QuicServerEngine` (the per-worker
+terminator it multiplexes).
 """
 
 from __future__ import annotations

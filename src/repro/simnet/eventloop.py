@@ -64,6 +64,16 @@ class EventLoop:
         #: only while this is non-zero, so ``run()`` still drains).
         self._live_normal = 0
 
+    @property
+    def pending(self) -> int:
+        """Live (non-cancelled) events still queued.
+
+        Shard workers assert ``pending == 0`` after :meth:`run` before
+        shipping their capture: a worker that exits with events queued
+        would silently under-produce its slice of the merged pcap.
+        """
+        return sum(1 for event in self._heap if not event.cancelled)
+
     def schedule(
         self, delay: float, callback: Callable[[], None], periodic: bool = False
     ) -> Event:

@@ -11,10 +11,19 @@ Every transmit outcome — delivered, lost, unrouted — is recorded in the
 metrics registry with device and drop-reason labels, so ``repro stats``
 can account for every packet.  :class:`NetworkStats` remains as a thin
 compatibility view over those counters.
+
+Per-packet jitter and loss are not drawn from a shared rng stream but
+derived from a keyed hash of the packet itself (endpoints, send time,
+payload).  A shared stream would make delays depend on the global order
+in which packets happen to be transmitted; the keyed hash makes each
+packet's fate a pure function of the packet, so a scenario sharded
+across worker processes (``repro.simnet.shard``) reproduces the serial
+run's capture exactly.
 """
 
 from __future__ import annotations
 
+import hashlib
 import random
 from dataclasses import dataclass
 
@@ -40,6 +49,12 @@ class PathModel:
 
     def one_way_delay(self, rng: random.Random, src_access: float, dst_access: float) -> float:
         return self.base_delay + src_access + dst_access + rng.uniform(0.0, self.jitter)
+
+    def delay_for(
+        self, jitter_fraction: float, src_access: float, dst_access: float
+    ) -> float:
+        """One-way delay with the jitter fixed by ``jitter_fraction`` ∈ [0, 1)."""
+        return self.base_delay + src_access + dst_access + jitter_fraction * self.jitter
 
 
 class Device:
@@ -118,8 +133,31 @@ class Network:
         self._m_delivered = self.metrics.counter("net.delivered", ("device",))
         self._m_dropped = self.metrics.counter("net.dropped", ("reason", "device"))
         self.stats = NetworkStats(self.metrics)
+        # Path randomness is keyed, not streamed: one construction-time
+        # draw salts a per-packet hash (see module docstring).
+        self._path_salt = rng.getrandbits(64).to_bytes(8, "big")
         self._routes: RadixTree[Device] = RadixTree()
         self._devices: list[Device] = []
+
+    def _path_fractions(self, datagram: UdpDatagram) -> tuple[float, float]:
+        """(loss, jitter) fractions in [0, 1), a pure function of the packet."""
+        digest = hashlib.blake2b(
+            self._path_salt
+            + b"%d|%d|%d|%d|" % (
+                datagram.src_ip,
+                datagram.dst_ip,
+                datagram.src_port,
+                datagram.dst_port,
+            )
+            + repr(self.loop.now).encode()
+            + b"|"
+            + datagram.payload,
+            digest_size=16,
+        ).digest()
+        return (
+            int.from_bytes(digest[:8], "big") / 2**64,
+            int.from_bytes(digest[8:], "big") / 2**64,
+        )
 
     def add_device(self, device: Device) -> None:
         device.attach(self)
@@ -153,7 +191,8 @@ class Network:
                     bytes=len(datagram.payload),
                 )
             return
-        if self.path.loss_rate and self.rng.random() < self.path.loss_rate:
+        loss_fraction, jitter_fraction = self._path_fractions(datagram)
+        if self.path.loss_rate and loss_fraction < self.path.loss_rate:
             self._m_dropped.inc_key((DROP_LOSS, target.name))
             if tracer.enabled:
                 tracer.emit(
@@ -166,8 +205,8 @@ class Network:
                     bytes=len(datagram.payload),
                 )
             return
-        delay = self.path.one_way_delay(
-            self.rng, sender.access_delay, target.access_delay
+        delay = self.path.delay_for(
+            jitter_fraction, sender.access_delay, target.access_delay
         )
         self._m_delivered.inc_key((target.name,))
         if tracer.enabled:

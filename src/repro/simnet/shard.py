@@ -1,0 +1,244 @@
+"""Sharded multiprocess simulation with a deterministic merge.
+
+The paper's telescope dataset is 87.4M packets over a month; a single
+Python process simulating that volume is wall-clock-bound on the CPU.
+This module partitions a :class:`~repro.workloads.scenario.ScenarioConfig`
+into independent sub-scenarios and runs them in ``multiprocessing``
+workers (``repro simulate --workers N``), then reassembles one capture:
+
+1. **Partition** — :func:`plan_shards` groups the scenario's
+   :class:`~repro.workloads.scenario.TrafficUnit`\\ s (per-hypergiant
+   attack blocks, per-scanner sweeps, bots, noise) into balanced shards
+   by greedy LPT on the units' cost weights.
+2. **Run** — each worker builds the *full* deployment (cheap; identical
+   construction-time random draws in every process) but installs only
+   its shard's units, runs the event loop, and writes its telescope
+   records — sorted by the canonical
+   :func:`~repro.netstack.pcap.record_sort_key` — to a temporary pcap.
+3. **Merge** — the parent k-way-merges the per-worker pcaps into one
+   time-ordered file (:func:`~repro.netstack.pcap.merge_pcap_files`) and
+   folds the workers' metrics snapshots into its registry
+   (:meth:`~repro.obs.metrics.MetricsRegistry.merge_snapshot`),
+   pushgateway-style, so the existing Prometheus exporters publish
+   whole-run numbers.
+
+Determinism contract: all runtime randomness in the pipeline is *keyed*
+— per-unit seeds (:func:`~repro.workloads.scenario.derive_seed`),
+per-connection engine rngs, per-packet path hashes — never drawn from a
+stream shared across units.  A packet's fate therefore does not depend
+on which process simulated it or on event interleaving, and for a fixed
+``(seed, scale)`` the merged capture is identical for any worker count
+``N >= 2`` and record-identical to the serial run (same multiset of
+records; the serial file orders same-microsecond ties by arrival
+instead of the canonical key).  ``--workers 1`` bypasses this module
+entirely and is byte-identical to the serial path by construction.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.netstack.pcap import merge_pcap_files, record_sort_key, write_pcap
+from repro.obs import NULL_OBS, Observability
+from repro.obs.trace import CAT_SIM
+from repro.workloads.scenario import (
+    ScenarioConfig,
+    TrafficUnit,
+    build_scenario,
+    derive_seed,
+    plan_traffic_units,
+)
+
+
+@dataclass(frozen=True)
+class Shard:
+    """One worker's slice of a scenario: a subset of its traffic units."""
+
+    index: int
+    seed: int  # derived from (config.seed, "shard", index); survives scaled()
+    units: tuple[TrafficUnit, ...]
+
+    @property
+    def weight(self) -> int:
+        return sum(unit.weight for unit in self.units)
+
+    @property
+    def unit_names(self) -> tuple[str, ...]:
+        return tuple(unit.name for unit in self.units)
+
+
+@dataclass
+class ShardRunResult:
+    """What :func:`simulate_sharded` hands back to the caller."""
+
+    total_records: int
+    shards: list[Shard]
+    worker_records: list[int]  # records captured per shard, by shard order
+
+
+def partition_units(
+    units: Sequence[TrafficUnit], shards: int
+) -> list[tuple[TrafficUnit, ...]]:
+    """Greedy LPT partition of units into ``shards`` balanced groups.
+
+    Units are placed heaviest-first onto the currently lightest shard
+    (ties broken by shard index, unit order by ``(-weight, name)``), so
+    the partition is deterministic for a given unit list.  Groups may be
+    empty when there are more shards than units.
+    """
+    if shards < 1:
+        raise ValueError("shard count must be >= 1 (got %r)" % shards)
+    buckets: list[list[TrafficUnit]] = [[] for _ in range(shards)]
+    loads = [0] * shards
+    for unit in sorted(units, key=lambda u: (-u.weight, u.name)):
+        lightest = min(range(shards), key=lambda i: (loads[i], i))
+        buckets[lightest].append(unit)
+        loads[lightest] += unit.weight
+    return [tuple(bucket) for bucket in buckets]
+
+
+def plan_shards(config: ScenarioConfig, workers: int) -> list[Shard]:
+    """Partition ``config``'s traffic units across up to ``workers`` shards.
+
+    Empty shards are dropped, so the result may be shorter than
+    ``workers``.  Shard seeds derive from the config seed and the shard
+    index only — like unit seeds, they commute with
+    :meth:`~repro.workloads.scenario.ScenarioConfig.scaled`.
+    """
+    units = plan_traffic_units(config)
+    shards = []
+    for index, bucket in enumerate(partition_units(units, workers)):
+        if not bucket:
+            continue
+        shards.append(
+            Shard(
+                index=index,
+                seed=derive_seed(config.seed, "shard", index),
+                units=bucket,
+            )
+        )
+    return shards
+
+
+def run_shard(
+    config: ScenarioConfig,
+    unit_names: Optional[Sequence[str]] = None,
+    obs: Optional[Observability] = None,
+):
+    """Build the full deployment, run only the named traffic units.
+
+    Returns the telescope's records sorted by the canonical
+    :func:`~repro.netstack.pcap.record_sort_key`.  Used in-process by
+    tests and from worker processes by :func:`simulate_sharded`;
+    ``unit_names=None`` runs everything (a serial run in merge order).
+    """
+    obs = obs or NULL_OBS
+    units = plan_traffic_units(config)
+    if unit_names is not None:
+        wanted = set(unit_names)
+        unknown = wanted - {unit.name for unit in units}
+        if unknown:
+            raise ValueError("unknown traffic units: %s" % ", ".join(sorted(unknown)))
+        units = tuple(unit for unit in units if unit.name in wanted)
+    scenario = build_scenario(config, obs=obs, units=units)
+    scenario.run()
+    if scenario.loop.pending:
+        raise RuntimeError(
+            "shard finished with %d events still queued" % scenario.loop.pending
+        )
+    return sorted(scenario.telescope.records, key=record_sort_key)
+
+
+def _worker_main(payload: tuple):
+    """Worker-process entry: run one shard, persist its capture.
+
+    Returns ``(record_count, metrics_snapshot_or_None)``; the capture
+    itself travels via the filesystem (a temporary per-shard pcap) to
+    keep the IPC payload small.
+    """
+    config, unit_names, pcap_path, want_metrics, trace_path = payload
+    from repro.obs import JsonlTracer, MetricsRegistry
+
+    tracer = JsonlTracer.to_path(trace_path) if trace_path else None
+    metrics = MetricsRegistry() if want_metrics else None
+    obs = Observability(tracer=tracer, metrics=metrics)
+    try:
+        records = run_shard(config, unit_names, obs=obs)
+        write_pcap(pcap_path, records)
+    finally:
+        obs.close()
+    return (len(records), metrics.snapshot() if metrics is not None else None)
+
+
+def _pool_context():
+    """Prefer fork (cheap, COW) where available; fall back to spawn."""
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context("fork" if "fork" in methods else "spawn")
+
+
+def simulate_sharded(
+    config: ScenarioConfig,
+    workers: int,
+    output: str,
+    obs: Optional[Observability] = None,
+    trace_path: Optional[str] = None,
+) -> ShardRunResult:
+    """Run ``config`` across ``workers`` processes and merge into ``output``.
+
+    Per-shard pcaps are written next to ``output`` (``output.shard<k>``)
+    and removed after the merge.  When ``obs`` carries a metrics
+    registry, workers snapshot theirs and the parent merges them; when
+    ``trace_path`` is given, worker *k* writes its own JSONL trace to
+    ``trace_path.worker<k>`` (traces are per-process narratives and are
+    not merged).
+    """
+    if workers < 2:
+        raise ValueError(
+            "simulate_sharded needs workers >= 2; run build_scenario serially"
+        )
+    obs = obs or NULL_OBS
+    shards = plan_shards(config, workers)
+    want_metrics = obs.metrics is not None
+    shard_paths = ["%s.shard%d" % (output, shard.index) for shard in shards]
+    payloads = [
+        (
+            config,
+            shard.unit_names,
+            path,
+            want_metrics,
+            "%s.worker%d" % (trace_path, shard.index) if trace_path else None,
+        )
+        for shard, path in zip(shards, shard_paths)
+    ]
+    if obs.tracer.enabled:
+        obs.tracer.emit(
+            CAT_SIM,
+            "shard_plan",
+            time=0.0,
+            workers=len(shards),
+            units=[list(shard.unit_names) for shard in shards],
+            weights=[shard.weight for shard in shards],
+        )
+    ctx = _pool_context()
+    with ctx.Pool(processes=len(shards)) as pool:
+        results = pool.map(_worker_main, payloads)
+    try:
+        total = merge_pcap_files(shard_paths, output)
+    finally:
+        for path in shard_paths:
+            try:
+                os.remove(path)
+            except OSError:
+                pass
+    if want_metrics:
+        for _count, snapshot in results:
+            if snapshot is not None:
+                obs.metrics.merge_snapshot(snapshot)
+    return ShardRunResult(
+        total_records=total,
+        shards=shards,
+        worker_records=[count for count, _snapshot in results],
+    )

@@ -7,6 +7,13 @@ Defaults model January 2022 at roughly 1/20 of the paper's traffic volume
 (DESIGN.md §5); ``ScenarioConfig.year=2021`` re-parameterizes versions and
 volumes to model April 2021.
 
+Traffic is assembled from independent :class:`TrafficUnit`\\ s — one per
+attack target-group × spoofed-source block, per scanner, per bot, plus
+noise — each driven by its own :func:`derive_seed`-derived rng.  Units
+never share random state, so any subset of them can run in any process
+(``repro.simnet.shard``) and the union of the resulting captures is
+identical to a serial run.
+
 Smaller, purpose-built labs for the active-measurement experiments
 (Figures 6, §4.3) are provided by :func:`build_facebook_lab` and
 :func:`build_lb_lab`.
@@ -14,6 +21,7 @@ Smaller, purpose-built labs for the active-measurement experiments
 
 from __future__ import annotations
 
+import hashlib
 import random
 from dataclasses import dataclass, field, replace
 
@@ -76,6 +84,46 @@ RESEARCH_NETWORKS: tuple[tuple[str, str], ...] = (
 
 _COUNTRY_CYCLE = ("US", "DE", "IN", "GB", "SG", "CA", "JP", "FR", "BR", "KR")
 
+#: Attack traffic groups (one flood per group; see :func:`plan_traffic_units`).
+ATTACK_GROUPS = ("Facebook", "Google", "Cloudflare", "Offnet", "Remaining")
+
+#: Unknown-scanner bots homed in the first N ISP networks.
+UNKNOWN_BOTS = 6
+
+
+def derive_seed(root_seed: int, *parts) -> int:
+    """A stable 64-bit sub-seed for one unit of work.
+
+    The derivation hashes the root seed together with the unit's
+    *identity* (kind, group, index…) and nothing else — in particular no
+    traffic volumes — so :meth:`ScenarioConfig.scaled` commutes with seed
+    derivation: scaling a config then deriving a unit seed gives the same
+    seed as deriving first.  This is what makes shard assignment a pure
+    partitioning decision with no effect on the traffic itself.
+    """
+    text = "|".join([str(root_seed)] + [str(part) for part in parts])
+    digest = hashlib.blake2b(text.encode(), digest_size=8).digest()
+    return int.from_bytes(digest, "big")
+
+
+@dataclass(frozen=True)
+class TrafficUnit:
+    """One independently seeded slice of scenario traffic.
+
+    Units are the unit of shard assignment: each owns a private rng
+    (seeded by :func:`derive_seed`), so running any subset of units in
+    any process produces exactly the packets that subset would have
+    produced in a serial run.
+    """
+
+    name: str  # unique id, e.g. "attack:google:2" or "scan:scanner-umich"
+    kind: str  # attack | research | bot | zero_rtt_gcp | zero_rtt_isp | noise
+    seed: int  # derived, volume-independent
+    count: int  # packets (scans/noise) or spoofed connections (attacks)
+    weight: int  # relative simulation cost, for LPT shard balancing
+    group: str = ""  # attack target group / scanner name
+    index: int = 0  # block or instance index within the kind
+
 
 @dataclass
 class ScenarioConfig:
@@ -103,6 +151,9 @@ class ScenarioConfig:
     cloudflare_offnets: int = 3
     remaining_servers: int = 110
     # --- attack volumes (spoofed connections) ------------------------------
+    #: Spoofed-source blocks per attack group; each block is its own
+    #: :class:`TrafficUnit` (the per-attacker-/16 shard key).
+    attacker_blocks: int = 4
     attacks_facebook: int = 1600
     attacks_google: int = 2800
     attacks_cloudflare: int = 120
@@ -143,6 +194,97 @@ def april_2021_config(seed: int = 20210401) -> ScenarioConfig:
     )
 
 
+def plan_traffic_units(config: ScenarioConfig) -> tuple[TrafficUnit, ...]:
+    """Decompose a config's traffic into independently seeded units.
+
+    The decomposition is structural: the set of unit names and seeds
+    depends only on ``config.seed``, ``attacker_blocks``, and which
+    volumes are non-zero-able — not on the volumes themselves — so
+    :meth:`ScenarioConfig.scaled` preserves it.  Counts split attack
+    volumes across blocks with the remainder spread over the first
+    blocks; weights approximate relative simulation cost (attack
+    connections trigger multi-datagram reply flights plus
+    retransmissions, scans are roughly one packet each).
+    """
+    units: list[TrafficUnit] = []
+    blocks = max(1, config.attacker_blocks)
+    volumes = (
+        ("Facebook", config.attacks_facebook),
+        ("Google", config.attacks_google),
+        ("Cloudflare", config.attacks_cloudflare),
+        ("Offnet", config.attacks_offnet),
+        ("Remaining", config.attacks_remaining),
+    )
+    for group, total in volumes:
+        for block in range(blocks):
+            count = total // blocks + (1 if block < total % blocks else 0)
+            units.append(
+                TrafficUnit(
+                    name="attack:%s:%d" % (group.lower(), block),
+                    kind="attack",
+                    seed=derive_seed(config.seed, "attack", group, block),
+                    count=count,
+                    weight=count * 6,
+                    group=group,
+                    index=block,
+                )
+            )
+    per_scanner = max(1, config.research_scan_packets // len(RESEARCH_NETWORKS))
+    for index, (_prefix, name) in enumerate(RESEARCH_NETWORKS):
+        units.append(
+            TrafficUnit(
+                name="scan:%s" % name,
+                kind="research",
+                seed=derive_seed(config.seed, "scan", name),
+                count=per_scanner,
+                weight=per_scanner,
+                group=name,
+                index=index,
+            )
+        )
+    per_bot = max(1, config.unknown_scan_packets // UNKNOWN_BOTS)
+    for index in range(UNKNOWN_BOTS):
+        units.append(
+            TrafficUnit(
+                name="bot:%d" % index,
+                kind="bot",
+                seed=derive_seed(config.seed, "bot", index),
+                count=per_bot,
+                weight=per_bot,
+                index=index,
+            )
+        )
+    if config.zero_rtt_scan_packets:
+        units.append(
+            TrafficUnit(
+                name="bot:gcp",
+                kind="zero_rtt_gcp",
+                seed=derive_seed(config.seed, "bot", "gcp"),
+                count=config.zero_rtt_scan_packets,
+                weight=config.zero_rtt_scan_packets,
+            )
+        )
+        units.append(
+            TrafficUnit(
+                name="bot:0rtt",
+                kind="zero_rtt_isp",
+                seed=derive_seed(config.seed, "bot", "0rtt"),
+                count=config.zero_rtt_scan_packets,
+                weight=config.zero_rtt_scan_packets,
+            )
+        )
+    units.append(
+        TrafficUnit(
+            name="noise",
+            kind="noise",
+            seed=derive_seed(config.seed, "noise"),
+            count=config.noise_packets,
+            weight=config.noise_packets,
+        )
+    )
+    return tuple(units)
+
+
 @dataclass
 class Scenario:
     """A fully wired simulation, ready to run."""
@@ -159,8 +301,13 @@ class Scenario:
     clusters: dict[str, list[FrontendCluster]] = field(default_factory=dict)
     offnet_servers: list[SimpleQuicServer] = field(default_factory=list)
     remaining_servers: list[SimpleQuicServer] = field(default_factory=list)
-    attacker: SpoofingAttacker | None = None
+    attackers: list[SpoofingAttacker] = field(default_factory=list)
     obs: Observability = field(default_factory=lambda: NULL_OBS)
+
+    @property
+    def attacker(self) -> SpoofingAttacker | None:
+        """The first attack unit's attacker (compatibility accessor)."""
+        return self.attackers[0] if self.attackers else None
 
     def run(self) -> None:
         """Run the event loop to completion (all traffic + retransmissions)."""
@@ -263,9 +410,18 @@ def _year_versions(profile: ServerProfile, year: int) -> ServerProfile:
 
 
 def build_scenario(
-    config: ScenarioConfig | None = None, obs: Observability | None = None
+    config: ScenarioConfig | None = None,
+    obs: Observability | None = None,
+    units: "tuple[TrafficUnit, ...] | None" = None,
 ) -> Scenario:
-    """Wire up a full telescope measurement month."""
+    """Wire up a full telescope measurement month.
+
+    ``units`` restricts traffic generation to a subset of
+    :func:`plan_traffic_units` (shard workers pass their slice); the
+    deployment — clusters, off-nets, remaining servers — is always built
+    in full, so every worker draws the identical construction-time
+    random sequence and hosts behave identically across processes.
+    """
     config = config or ScenarioConfig()
     obs = obs or NULL_OBS
     rng = random.Random(config.seed)
@@ -307,7 +463,7 @@ def build_scenario(
     _build_onnet(scenario)
     _build_offnet(scenario, isp_prefixes)
     _build_remaining(scenario, isp_prefixes)
-    _build_traffic(scenario, isp_prefixes)
+    _build_traffic(scenario, isp_prefixes, units)
     return scenario
 
 
@@ -475,163 +631,190 @@ def _build_remaining(scenario: Scenario, isp_prefixes: list[Prefix]) -> None:
         scenario.remaining_servers.append(server)
 
 
-def _build_traffic(scenario: Scenario, isp_prefixes: list[Prefix]) -> None:
+def _build_traffic(
+    scenario: Scenario,
+    isp_prefixes: list[Prefix],
+    units: tuple[TrafficUnit, ...] | None = None,
+) -> None:
+    """Install traffic units; ``None`` means all of :func:`plan_traffic_units`."""
+    if units is None:
+        units = plan_traffic_units(scenario.config)
+    installers = {
+        "attack": _install_attack,
+        "research": _install_research,
+        "bot": _install_bot,
+        "zero_rtt_gcp": _install_zero_rtt,
+        "zero_rtt_isp": _install_zero_rtt,
+        "noise": _install_noise,
+    }
+    for unit in units:
+        installer = installers.get(unit.kind)
+        if installer is None:
+            raise ValueError("unknown traffic unit kind %r" % unit.kind)
+        installer(scenario, isp_prefixes, unit, random.Random(unit.seed))
+
+
+def _attack_spec(scenario: Scenario, group: str):
+    """(targets, versions, bogus_probability) for one attack group."""
     cfg = scenario.config
-    loop = scenario.loop
-    tracer = scenario.obs.tracer
+    if group in ("Facebook", "Google", "Cloudflare"):
+        bogus = cfg.bogus_version_probability if group == "Google" else 0.0
+        return scenario.vips(group), _attack_versions(cfg.year, group), bogus
+    if group == "Offnet":
+        offnet_targets = [s.address for s in scenario.offnet_servers]
+        fb_offnet_targets = [
+            s.address for s in scenario.offnet_servers if s.profile.name == "Facebook"
+        ]
+        return (
+            fb_offnet_targets or offnet_targets,
+            _attack_versions(cfg.year, "Facebook"),
+            0.0,
+        )
+    return (
+        [s.address for s in scenario.remaining_servers],
+        _attack_versions(cfg.year, "Remaining"),
+        0.0,
+    )
+
+
+def _install_attack(
+    scenario: Scenario, isp_prefixes: list[Prefix], unit: TrafficUnit, rng: random.Random
+) -> None:
+    cfg = scenario.config
+    targets, versions, bogus = _attack_spec(scenario, unit.group)
+    if not targets or unit.count <= 0:
+        return
+    # Each block spoofs from its own round-robin slice of the ISP /16
+    # pool, so the aggregate spoofed-source distribution matches the
+    # un-sharded one while blocks stay fully independent.
+    blocks = max(1, cfg.attacker_blocks)
+    spoof_pool = [
+        prefix for i, prefix in enumerate(isp_prefixes) if i % blocks == unit.index
+    ] or list(isp_prefixes)
     attacker = SpoofingAttacker(
-        name="botnet",
-        loop=loop,
-        rng=random.Random(cfg.seed ^ 0xA77AC),
+        name="botnet-%s-%d" % (unit.group.lower(), unit.index),
+        loop=scenario.loop,
+        rng=rng,
         telescope_prefix=scenario.telescope.prefix,
-        spoof_pool=isp_prefixes,
+        spoof_pool=spoof_pool,
         telescope_bias=cfg.telescope_bias,
         suite=cfg.suite,
     )
     scenario.network.add_device(attacker)
-    scenario.attacker = attacker
-
-    window = cfg.window
-
-    def flood(targets, count, versions, bogus=0.0):
-        if not targets or count <= 0:
-            return
-        if tracer.enabled:
-            tracer.emit(
-                CAT_WORKLOAD,
-                "attack_launched",
-                time=loop.now,
-                targets=len(targets),
-                packets=count,
-                duration=window,
-            )
-        attacker.launch(
-            AttackPlan(
-                targets=tuple(targets),
-                packet_count=count,
-                start_time=0.0,
-                duration=window,
-                versions=versions,
-                bogus_version_probability=bogus,
-            )
+    scenario.attackers.append(attacker)
+    tracer = scenario.obs.tracer
+    if tracer.enabled:
+        tracer.emit(
+            CAT_WORKLOAD,
+            "attack_launched",
+            time=scenario.loop.now,
+            unit=unit.name,
+            targets=len(targets),
+            packets=unit.count,
+            duration=cfg.window,
         )
-
-    flood(
-        scenario.vips("Facebook"),
-        cfg.attacks_facebook,
-        _attack_versions(cfg.year, "Facebook"),
-    )
-    flood(
-        scenario.vips("Google"),
-        cfg.attacks_google,
-        _attack_versions(cfg.year, "Google"),
-        bogus=cfg.bogus_version_probability,
-    )
-    flood(
-        scenario.vips("Cloudflare"),
-        cfg.attacks_cloudflare,
-        _attack_versions(cfg.year, "Cloudflare"),
-    )
-    offnet_targets = [s.address for s in scenario.offnet_servers]
-    fb_offnet_targets = [
-        s.address for s in scenario.offnet_servers if s.profile.name == "Facebook"
-    ]
-    flood(
-        fb_offnet_targets or offnet_targets,
-        cfg.attacks_offnet,
-        _attack_versions(cfg.year, "Facebook"),
-    )
-    flood(
-        [s.address for s in scenario.remaining_servers],
-        cfg.attacks_remaining,
-        _attack_versions(cfg.year, "Remaining"),
-    )
-
-    # Scanners --------------------------------------------------------------
-    research_rng = random.Random(cfg.seed ^ 0x5CA41)
-    per_scanner = max(1, cfg.research_scan_packets // len(RESEARCH_NETWORKS))
-    for prefix_text, name in RESEARCH_NETWORKS:
-        scanner = ResearchScanner(
-            name=name,
-            address=Prefix.parse(prefix_text).host(7),
-            loop=loop,
-            rng=research_rng,
-            target_prefix=scenario.telescope.prefix,
-            suite=cfg.suite,
+    attacker.launch(
+        AttackPlan(
+            targets=tuple(targets),
+            packet_count=unit.count,
+            start_time=0.0,
+            duration=cfg.window,
+            versions=versions,
+            bogus_version_probability=bogus,
         )
-        scenario.network.add_device(scanner)
-        if tracer.enabled:
-            tracer.emit(
-                CAT_WORKLOAD,
-                "scan_sweep",
-                time=loop.now,
-                scanner=name,
-                packets=per_scanner,
-                duration=window,
-            )
-        scanner.sweep(per_scanner, start_time=0.0, duration=window)
+    )
 
-    bot_rng = random.Random(cfg.seed ^ 0xB07)
-    bot_homes = [prefix.host(9000 + i) for i, prefix in enumerate(isp_prefixes[:6])]
-    per_bot = max(1, cfg.unknown_scan_packets // max(len(bot_homes), 1))
-    for i, home in enumerate(bot_homes):
-        bot = UnknownScanner(
-            name="bot-%d" % i,
-            address=home,
-            loop=loop,
-            rng=bot_rng,
-            target_prefix=scenario.telescope.prefix,
-            versions=_scanner_versions(cfg.year),
-            suite=cfg.suite,
+
+def _install_research(
+    scenario: Scenario, isp_prefixes: list[Prefix], unit: TrafficUnit, rng: random.Random
+) -> None:
+    cfg = scenario.config
+    prefix_text, name = RESEARCH_NETWORKS[unit.index]
+    scanner = ResearchScanner(
+        name=name,
+        address=Prefix.parse(prefix_text).host(7),
+        loop=scenario.loop,
+        rng=rng,
+        target_prefix=scenario.telescope.prefix,
+        suite=cfg.suite,
+    )
+    scenario.network.add_device(scanner)
+    tracer = scenario.obs.tracer
+    if tracer.enabled:
+        tracer.emit(
+            CAT_WORKLOAD,
+            "scan_sweep",
+            time=scenario.loop.now,
+            scanner=name,
+            packets=unit.count,
+            duration=cfg.window,
         )
-        scenario.network.add_device(bot)
-        bot.sweep(per_bot, start_time=0.0, duration=window)
+    scanner.sweep(unit.count, start_time=0.0, duration=cfg.window)
 
-    if cfg.zero_rtt_scan_packets:
+
+def _install_bot(
+    scenario: Scenario, isp_prefixes: list[Prefix], unit: TrafficUnit, rng: random.Random
+) -> None:
+    cfg = scenario.config
+    bot = UnknownScanner(
+        name="bot-%d" % unit.index,
+        address=isp_prefixes[unit.index].host(9000 + unit.index),
+        loop=scenario.loop,
+        rng=rng,
+        target_prefix=scenario.telescope.prefix,
+        versions=_scanner_versions(cfg.year),
+        suite=cfg.suite,
+    )
+    scenario.network.add_device(bot)
+    bot.sweep(unit.count, start_time=0.0, duration=cfg.window)
+
+
+def _install_zero_rtt(
+    scenario: Scenario, isp_prefixes: list[Prefix], unit: TrafficUnit, rng: random.Random
+) -> None:
+    cfg = scenario.config
+    if unit.kind == "zero_rtt_gcp":
         # A bot inside Google's cloud replaying 0-RTT at dark space — the
         # source of Table 3's 0-RTT share "from" the Google network.
-        gcp_bot = UnknownScanner(
-            name="bot-gcp",
-            address=parse_ip("142.250.199.77"),
-            loop=loop,
-            rng=bot_rng,
-            target_prefix=scenario.telescope.prefix,
-            versions=_scanner_versions(cfg.year),
-            zero_rtt_probability=0.8,
-            suite=cfg.suite,
-        )
-        scenario.network.add_device(gcp_bot)
-        gcp_bot.sweep(cfg.zero_rtt_scan_packets, start_time=0.0, duration=window)
-        isp_bot = UnknownScanner(
-            name="bot-0rtt",
-            address=isp_prefixes[7].host(9999),
-            loop=loop,
-            rng=bot_rng,
-            target_prefix=scenario.telescope.prefix,
-            versions=_scanner_versions(cfg.year),
-            zero_rtt_probability=0.5,
-            suite=cfg.suite,
-        )
-        scenario.network.add_device(isp_bot)
-        isp_bot.sweep(cfg.zero_rtt_scan_packets, start_time=0.0, duration=window)
+        name, address, probability = "bot-gcp", parse_ip("142.250.199.77"), 0.8
+    else:
+        name, address, probability = "bot-0rtt", isp_prefixes[7].host(9999), 0.5
+    bot = UnknownScanner(
+        name=name,
+        address=address,
+        loop=scenario.loop,
+        rng=rng,
+        target_prefix=scenario.telescope.prefix,
+        versions=_scanner_versions(cfg.year),
+        zero_rtt_probability=probability,
+        suite=cfg.suite,
+    )
+    scenario.network.add_device(bot)
+    bot.sweep(unit.count, start_time=0.0, duration=cfg.window)
 
+
+def _install_noise(
+    scenario: Scenario, isp_prefixes: list[Prefix], unit: TrafficUnit, rng: random.Random
+) -> None:
+    cfg = scenario.config
     noise = NoiseSource(
         name="noise",
         address=isp_prefixes[3].host(12345),
-        loop=loop,
-        rng=random.Random(cfg.seed ^ 0x401E),
+        loop=scenario.loop,
+        rng=rng,
         target_prefix=scenario.telescope.prefix,
     )
     scenario.network.add_device(noise)
+    tracer = scenario.obs.tracer
     if tracer.enabled:
         tracer.emit(
             CAT_WORKLOAD,
             "noise_started",
-            time=loop.now,
-            packets=cfg.noise_packets,
-            duration=window,
+            time=scenario.loop.now,
+            packets=unit.count,
+            duration=cfg.window,
         )
-    noise.emit(cfg.noise_packets, start_time=0.0, duration=window)
+    noise.emit(unit.count, start_time=0.0, duration=cfg.window)
 
 
 # ---------------------------------------------------------------------------

@@ -1,0 +1,92 @@
+"""The docs layer: link integrity and the checker's own behaviour."""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+REPO_ROOT = os.path.abspath(os.path.join(os.path.dirname(__file__), "..", ".."))
+CHECKER = os.path.join(REPO_ROOT, "tools", "check_md_links.py")
+
+sys.path.insert(0, os.path.join(REPO_ROOT, "tools"))
+from check_md_links import check_file, github_slug  # noqa: E402
+
+
+class TestRepoDocs:
+    def test_all_intra_repo_links_resolve(self):
+        """The CI docs job, run as a tier-1 gate."""
+        result = subprocess.run(
+            [sys.executable, CHECKER],
+            cwd=REPO_ROOT,
+            capture_output=True,
+            text=True,
+        )
+        assert result.returncode == 0, result.stderr
+        assert "markdown links ok" in result.stdout
+
+    def test_core_documents_exist_and_are_linked(self):
+        for name in ("README.md", "ARCHITECTURE.md", "EXPERIMENTS.md",
+                     "ROADMAP.md", "DESIGN.md"):
+            assert os.path.exists(os.path.join(REPO_ROOT, name)), name
+        with open(os.path.join(REPO_ROOT, "README.md")) as fileobj:
+            readme = fileobj.read()
+        assert "ARCHITECTURE.md" in readme
+
+
+class TestGithubSlug:
+    @pytest.mark.parametrize(
+        ("heading", "slug"),
+        [
+            ("Layer diagram", "layer-diagram"),
+            ("The shard/merge plane (`repro.simnet.shard`)",
+             "the-shardmerge-plane-reprosimnetshard"),
+            ("Data flow: one spoofed Initial, end to end",
+             "data-flow-one-spoofed-initial-end-to-end"),
+            ("Fidelity and substitutions", "fidelity-and-substitutions"),
+        ],
+    )
+    def test_matches_github_anchor_rules(self, heading, slug):
+        assert github_slug(heading) == slug
+
+
+class TestCheckFile:
+    def write(self, tmp_path, name, content):
+        path = tmp_path / name
+        path.write_text(content)
+        return str(path)
+
+    def test_flags_missing_file_and_anchor(self, tmp_path):
+        doc = self.write(
+            tmp_path,
+            "doc.md",
+            "# Title\n\n[a](gone.md) [b](#absent) [c](#title)\n",
+        )
+        errors = check_file(doc, str(tmp_path))
+        assert len(errors) == 2
+        assert any("gone.md" in e for e in errors)
+        assert any("#absent" in e for e in errors)
+
+    def test_skips_external_and_code_fences(self, tmp_path):
+        doc = self.write(
+            tmp_path,
+            "doc.md",
+            "# T\n\n[ok](https://example.com)\n\n"
+            "```\n[broken](nowhere.md)\n```\n",
+        )
+        assert check_file(doc, str(tmp_path)) == []
+
+    def test_cross_document_anchor(self, tmp_path):
+        self.write(tmp_path, "other.md", "# Deep Dive\n")
+        doc = self.write(
+            tmp_path, "doc.md", "[x](other.md#deep-dive) [y](other.md#nope)\n"
+        )
+        errors = check_file(doc, str(tmp_path))
+        assert len(errors) == 1 and "#nope" in errors[0]
+
+    def test_link_escaping_repo_rejected(self, tmp_path):
+        sub = tmp_path / "sub"
+        sub.mkdir()
+        doc = self.write(sub, "doc.md", "[up](../../etc/passwd)\n")
+        errors = check_file(doc, str(sub))
+        assert errors and "escapes" in errors[0]

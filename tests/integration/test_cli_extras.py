@@ -46,3 +46,61 @@ def test_same_seed_reproducible(tmp_path):
     records_a, records_b = read_pcap(a), read_pcap(b)
     assert len(records_a) == len(records_b)
     assert all(x.data == y.data for x, y in zip(records_a, records_b))
+
+
+class TestSimulateWorkers:
+    """`simulate --workers N`: the sharded runner behind the CLI flag."""
+
+    def classify_stats(self, pcap, capsys):
+        import json
+
+        assert main(["classify", pcap, "--json"]) == 0
+        return json.loads(capsys.readouterr().out)["stats"]
+
+    def test_sharded_classifies_identically_to_serial(self, tmp_path, capsys):
+        serial = str(tmp_path / "serial.pcap")
+        sharded = str(tmp_path / "sharded.pcap")
+        assert main(["simulate", serial, "--scale", "0.02", "--seed", "9"]) == 0
+        out = capsys.readouterr().out
+        assert "workers" not in out
+        assert main(
+            ["simulate", sharded, "--scale", "0.02", "--seed", "9",
+             "--workers", "2"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "2 workers" in out and "merged from" in out
+        assert self.classify_stats(sharded, capsys) == self.classify_stats(
+            serial, capsys
+        )
+
+    def test_workers_one_is_byte_identical_serial_path(self, tmp_path):
+        a = str(tmp_path / "a.pcap")
+        b = str(tmp_path / "b.pcap")
+        assert main(["simulate", a, "--scale", "0.02", "--seed", "9"]) == 0
+        assert main(
+            ["simulate", b, "--scale", "0.02", "--seed", "9", "--workers", "1"]
+        ) == 0
+        with open(a, "rb") as x, open(b, "rb") as y:
+            assert x.read() == y.read()
+
+    def test_sharded_metrics_and_worker_traces(self, tmp_path):
+        from repro.obs import load_snapshot
+        from repro.obs.trace import read_trace
+
+        pcap = str(tmp_path / "m.pcap")
+        trace = str(tmp_path / "t.jsonl")
+        metrics = str(tmp_path / "m.json")
+        assert main(
+            ["simulate", pcap, "--scale", "0.02", "--seed", "9",
+             "--workers", "2", "--trace", trace, "--metrics", metrics]
+        ) == 0
+        snapshot = load_snapshot(metrics)
+        assert snapshot["counters"]["net.delivered"]["values"]
+        parent = list(read_trace(trace))
+        assert any(e["name"] == "shard_plan" for e in parent)
+        import glob
+
+        worker_traces = sorted(glob.glob(trace + ".worker*"))
+        assert worker_traces
+        for worker_trace in worker_traces:
+            assert list(read_trace(worker_trace))

@@ -152,6 +152,21 @@ class TestTraceSummarize:
         open(empty, "w").close()
         assert main(["trace", "summarize", empty]) == 1
 
+    def test_truncated_tail_notice_goes_to_stderr(self, traced_run, tmp_path, capsys):
+        """Crash-dump tails are reported on stderr; stdout stays clean."""
+        _pcap, trace, _metrics = traced_run
+        truncated = str(tmp_path / "truncated.jsonl")
+        with open(trace) as src, open(truncated, "w") as dst:
+            for _ in range(20):
+                dst.write(src.readline())
+            dst.write('{"time": 1.0, "category": "sim", "na')  # torn write
+        assert main(["trace", "summarize", truncated]) == 0
+        captured = capsys.readouterr()
+        assert "truncated" in captured.err
+        assert truncated in captured.err
+        assert "truncated write" not in captured.out
+        assert "Events per category" in captured.out
+
 
 class TestAlwaysOnSinks:
     @pytest.fixture(scope="class")

@@ -12,7 +12,9 @@ from repro.netstack.pcap import (
     PcapReader,
     PcapRecord,
     PcapWriter,
+    merge_pcap_files,
     read_pcap,
+    record_sort_key,
     write_pcap,
 )
 
@@ -91,6 +93,53 @@ class TestErrors:
         data = buf.getvalue()[:-2]
         with pytest.raises(PcapError):
             list(PcapReader(io.BytesIO(data)))
+
+
+class TestMerge:
+    def write(self, tmp_path, name, records):
+        path = str(tmp_path / name)
+        write_pcap(path, sorted(records, key=record_sort_key))
+        return path
+
+    def test_kway_merge_is_time_ordered(self, tmp_path):
+        a = self.write(tmp_path, "a.pcap", [PcapRecord(1.0, b"a"), PcapRecord(3.0, b"c")])
+        b = self.write(tmp_path, "b.pcap", [PcapRecord(2.0, b"b"), PcapRecord(4.0, b"d")])
+        out = str(tmp_path / "merged.pcap")
+        assert merge_pcap_files([a, b], out) == 4
+        assert [r.data for r in read_pcap(out)] == [b"a", b"b", b"c", b"d"]
+
+    def test_merge_is_partition_independent(self, tmp_path):
+        records = [PcapRecord(t / 7.0, b"p%d" % t) for t in range(30)]
+        whole = self.write(tmp_path, "whole.pcap", records)
+        evens = self.write(tmp_path, "e.pcap", records[::2])
+        odds = self.write(tmp_path, "o.pcap", records[1::2])
+        out = str(tmp_path / "m.pcap")
+        merge_pcap_files([evens, odds], out)
+        with open(whole, "rb") as a, open(out, "rb") as b:
+            assert a.read() == b.read()
+
+    def test_same_timestamp_ties_break_on_data(self, tmp_path):
+        a = self.write(tmp_path, "a.pcap", [PcapRecord(5.0, b"zz")])
+        b = self.write(tmp_path, "b.pcap", [PcapRecord(5.0, b"aa")])
+        out = str(tmp_path / "m.pcap")
+        merge_pcap_files([a, b], out)
+        reversed_out = str(tmp_path / "m2.pcap")
+        merge_pcap_files([b, a], reversed_out)
+        assert [r.data for r in read_pcap(out)] == [b"aa", b"zz"]
+        with open(out, "rb") as x, open(reversed_out, "rb") as y:
+            assert x.read() == y.read()
+
+    def test_sort_key_uses_quantized_timestamps(self):
+        # Sub-microsecond differences vanish on the wire; the canonical
+        # key must agree before and after a pcap round-trip.
+        near = PcapRecord(1.0000004, b"x")
+        assert record_sort_key(near) == (1, 0, b"x")
+
+    def test_merge_empty_inputs(self, tmp_path):
+        a = self.write(tmp_path, "a.pcap", [])
+        out = str(tmp_path / "m.pcap")
+        assert merge_pcap_files([a], out) == 0
+        assert read_pcap(out) == []
 
 
 @settings(max_examples=30, deadline=None)

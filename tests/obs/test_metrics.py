@@ -115,3 +115,71 @@ class TestSnapshot:
         registry.write(path)
         snapshot = load_snapshot(path)
         assert snapshot["counters"]["c"]["values"][""] == 7
+
+
+class TestMergeSnapshot:
+    """Pushgateway-style aggregation of worker snapshots (sharded runs)."""
+
+    def worker_registry(self, delivered, payload_bytes):
+        registry = MetricsRegistry()
+        registry.counter("net.delivered", ("device",)).inc(delivered, device="tele")
+        registry.gauge("sim.events").set_key((), delivered * 10)
+        hist = registry.histogram("payload", (100, 1000), ("kind",))
+        for value in payload_bytes:
+            hist.observe(value, kind="scan")
+        with registry.time_block("simulate"):
+            pass
+        return registry
+
+    def test_counters_gauges_histograms_timers_sum(self):
+        parent = MetricsRegistry()
+        parent.merge_snapshot(self.worker_registry(3, [50, 500]).snapshot())
+        parent.merge_snapshot(self.worker_registry(4, [5000]).snapshot())
+        assert parent.counter("net.delivered", ("device",)).values[("tele",)] == 7
+        assert parent.gauge("sim.events").values[()] == 70
+        hist = parent.histogram("payload", (100, 1000), ("kind",))
+        series = hist.series[("scan",)]
+        assert series.counts == [1, 1, 1]
+        assert series.count == 3 and series.sum == 5550
+        assert parent.snapshot()["timers"]["simulate"]["calls"] == 2
+
+    def test_merge_into_nonempty_parent(self):
+        parent = self.worker_registry(1, [10])
+        parent.merge_snapshot(self.worker_registry(2, [20]).snapshot())
+        assert parent.counter("net.delivered", ("device",)).values[("tele",)] == 3
+        assert parent.histogram("payload", (100, 1000), ("kind",)).series[
+            ("scan",)
+        ].count == 2
+
+    def test_merge_is_associative_with_snapshot_roundtrip(self, tmp_path):
+        a = self.worker_registry(5, [1])
+        b = self.worker_registry(6, [2])
+        left = MetricsRegistry()
+        left.merge_snapshot(a.snapshot())
+        left.merge_snapshot(b.snapshot())
+        right = MetricsRegistry()
+        right.merge_snapshot(b.snapshot())
+        right.merge_snapshot(a.snapshot())
+        assert left.snapshot() == right.snapshot()
+        # snapshots survive a JSON round-trip (the IPC path)
+        path = str(tmp_path / "w.json")
+        a.write(path)
+        reparsed = MetricsRegistry()
+        reparsed.merge_snapshot(load_snapshot(path))
+        assert reparsed.snapshot() == a.snapshot()
+
+    def test_label_mismatch_rejected(self):
+        parent = MetricsRegistry()
+        parent.counter("net.delivered", ("other",))
+        with pytest.raises(ValueError):
+            parent.merge_snapshot(self.worker_registry(1, []).snapshot())
+
+    def test_histogram_without_bounds_rejected(self):
+        snapshot = self.worker_registry(1, [10]).snapshot()
+        del snapshot["histograms"]["payload"]["bounds"]
+        with pytest.raises(ValueError, match="bounds"):
+            MetricsRegistry().merge_snapshot(snapshot)
+
+    def test_snapshot_carries_bounds(self):
+        snapshot = self.worker_registry(1, [10]).snapshot()
+        assert snapshot["histograms"]["payload"]["bounds"] == [100, 1000]

@@ -134,15 +134,30 @@ class TestLoss:
         assert net.stats.dropped_loss == 10
 
     def test_partial_loss(self):
+        # Loss is a keyed hash of the packet, so the sample needs distinct
+        # packets (identical packets at the same instant share one fate).
         loop, net = make_net(loss=0.5)
         receiver = Sink("r", "10.0.0.0/8")
         sender = Sink("s", "192.0.2.0/24")
         net.add_device(receiver)
         net.add_device(sender)
-        for _ in range(200):
-            sender.send(dgram("192.0.2.1", "10.0.0.1"))
+        for i in range(200):
+            sender.send(dgram("192.0.2.1", "10.0.0.1", payload=b"pkt-%d" % i))
         loop.run()
         assert 50 < len(receiver.received) < 150
+
+    def test_identical_packets_share_fate(self):
+        """Packet fate is a pure function of the packet — the property that
+        lets sharded runs reproduce a serial capture exactly."""
+        loop, net = make_net(loss=0.5)
+        receiver = Sink("r", "10.0.0.0/8")
+        sender = Sink("s", "192.0.2.0/24")
+        net.add_device(receiver)
+        net.add_device(sender)
+        for _ in range(20):
+            sender.send(dgram("192.0.2.1", "10.0.0.1"))
+        loop.run()
+        assert len(receiver.received) in (0, 20)
 
 
 class TestDeviceErrors:

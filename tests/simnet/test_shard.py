@@ -1,0 +1,182 @@
+"""Sharded simulation: partitioning, determinism, and the merge step."""
+
+import pytest
+
+from repro.netstack.pcap import read_pcap, record_sort_key
+from repro.obs import MetricsRegistry, Observability
+from repro.simnet.shard import (
+    Shard,
+    partition_units,
+    plan_shards,
+    run_shard,
+    simulate_sharded,
+)
+from repro.telescope.classify import classify_capture
+from repro.workloads.scenario import (
+    ScenarioConfig,
+    derive_seed,
+    plan_traffic_units,
+)
+
+#: Small but non-trivial: every unit kind is populated, runs in seconds.
+CONFIG = ScenarioConfig(seed=4242).scaled(0.02)
+
+
+def keys(records):
+    return [record_sort_key(r) for r in records]
+
+
+@pytest.fixture(scope="module")
+def serial_records():
+    """One serial reference run, shared by the equivalence tests."""
+    return run_shard(CONFIG)
+
+
+class TestPartitioning:
+    def test_partition_is_deterministic_and_complete(self):
+        units = plan_traffic_units(CONFIG)
+        buckets = partition_units(units, 4)
+        again = partition_units(units, 4)
+        assert buckets == again
+        flattened = [unit for bucket in buckets for unit in bucket]
+        assert sorted(u.name for u in flattened) == sorted(u.name for u in units)
+
+    def test_lpt_balances_weights(self):
+        units = plan_traffic_units(CONFIG)
+        buckets = partition_units(units, 4)
+        loads = [sum(u.weight for u in bucket) for bucket in buckets]
+        heaviest_unit = max(u.weight for u in units)
+        # Classic LPT bound: spread stays within one heaviest item.
+        assert max(loads) - min(loads) <= heaviest_unit
+
+    def test_more_shards_than_units_drops_empties(self):
+        shards = plan_shards(CONFIG, 1000)
+        assert 0 < len(shards) <= len(plan_traffic_units(CONFIG))
+        assert all(shard.units for shard in shards)
+
+    def test_shard_seed_derivation(self):
+        shards = plan_shards(CONFIG, 3)
+        for shard in shards:
+            assert shard.seed == derive_seed(CONFIG.seed, "shard", shard.index)
+
+    def test_invalid_shard_count(self):
+        with pytest.raises(ValueError):
+            partition_units(plan_traffic_units(CONFIG), 0)
+
+
+class TestScaledCommutesWithSharding:
+    """Scaling then sharding == sharding then scaling (satellite 5)."""
+
+    def test_unit_seeds_are_volume_independent(self):
+        # Scale the full-size config: halving CONFIG's already-tiny
+        # volumes would drive zero_rtt to 0 and (correctly) drop its
+        # units — scaling only commutes while volumes stay non-zero.
+        base_cfg = ScenarioConfig(seed=4242)
+        base = {u.name: u.seed for u in plan_traffic_units(base_cfg)}
+        scaled = {u.name: u.seed for u in plan_traffic_units(base_cfg.scaled(0.5))}
+        assert base == scaled
+
+    def test_shard_seeds_are_volume_independent(self):
+        scaled = CONFIG.scaled(0.5)
+        for index in range(8):
+            assert derive_seed(scaled.seed, "shard", index) == derive_seed(
+                CONFIG.seed, "shard", index
+            )
+
+    def test_shard_plans_agree_on_unit_names(self):
+        # Counts differ after scaling, but LPT sees proportional weights,
+        # and unit identities are scale-invariant.
+        base_units = {
+            shard.index: shard.unit_names for shard in plan_shards(CONFIG, 3)
+        }
+        scaled_units = {
+            shard.index: shard.unit_names
+            for shard in plan_shards(CONFIG.scaled(1.0), 3)
+        }
+        assert base_units == scaled_units
+
+    def test_derive_seed_distinct_across_identities(self):
+        seeds = {derive_seed(1, "attack", g, b) for g in "abc" for b in range(4)}
+        assert len(seeds) == 12
+
+
+class TestUnitIndependence:
+    """The core determinism property: serial == union of any partition."""
+
+    def test_serial_equals_merged_partition(self, serial_records):
+        shards = plan_shards(CONFIG, 3)
+        merged = []
+        for shard in shards:
+            merged.extend(run_shard(CONFIG, shard.unit_names))
+        merged.sort(key=record_sort_key)
+        assert keys(merged) == keys(serial_records)
+
+    def test_partition_choice_is_invisible(self, serial_records):
+        shards = plan_shards(CONFIG, 2)
+        merged = []
+        for shard in shards:
+            merged.extend(run_shard(CONFIG, shard.unit_names))
+        merged.sort(key=record_sort_key)
+        assert keys(merged) == keys(serial_records)
+
+    def test_single_unit_subset_is_a_subset(self, serial_records):
+        serial = set(keys(serial_records))
+        one_unit = run_shard(CONFIG, ["noise"])
+        assert one_unit  # noise lands on the telescope
+        assert set(keys(one_unit)) <= serial
+
+    def test_unknown_unit_name_rejected(self):
+        with pytest.raises(ValueError, match="unknown traffic units"):
+            run_shard(CONFIG, ["attack:nonexistent:0"])
+
+
+class TestSimulateSharded:
+    @pytest.fixture(scope="class")
+    def sharded(self, tmp_path_factory):
+        out = str(tmp_path_factory.mktemp("shard") / "merged.pcap")
+        obs = Observability(metrics=MetricsRegistry())
+        result = simulate_sharded(CONFIG, workers=2, output=out, obs=obs)
+        return out, obs, result
+
+    def test_merged_capture_matches_serial(self, sharded, serial_records):
+        out, _obs, result = sharded
+        merged = read_pcap(out)
+        assert result.total_records == len(merged) == len(serial_records)
+        assert keys(merged) == keys(serial_records)
+
+    def test_classify_stats_identical_to_serial(self, sharded, serial_records):
+        out, _obs, _result = sharded
+        merged_stats = classify_capture(read_pcap(out)).stats
+        serial_stats = classify_capture(serial_records).stats
+        assert merged_stats == serial_stats
+
+    def test_worker_counts_sum_to_total(self, sharded):
+        _out, _obs, result = sharded
+        assert sum(result.worker_records) == result.total_records
+        assert len(result.worker_records) == len(result.shards) == 2
+
+    def test_merged_metrics_cover_whole_run(self, sharded):
+        _out, obs, result = sharded
+        delivered = obs.metrics.counter("net.delivered", ("device",))
+        assert sum(delivered.values.values()) >= result.total_records
+        snapshot = obs.metrics.snapshot()
+        assert snapshot["counters"]["engine.events"]["values"]
+
+    def test_shard_temp_files_removed(self, sharded):
+        out, _obs, result = sharded
+        import os
+
+        for shard in result.shards:
+            assert not os.path.exists("%s.shard%d" % (out, shard.index))
+
+    def test_workers_below_two_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            simulate_sharded(CONFIG, workers=1, output=str(tmp_path / "x.pcap"))
+
+
+class TestShardDataclass:
+    def test_weight_and_names(self):
+        units = plan_traffic_units(CONFIG)[:3]
+        shard = Shard(index=0, seed=1, units=tuple(units))
+        assert shard.weight == sum(u.weight for u in units)
+        assert shard.unit_names == tuple(u.name for u in units)

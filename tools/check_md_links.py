@@ -1,0 +1,148 @@
+#!/usr/bin/env python
+"""Fail on broken intra-repo links in the top-level markdown docs.
+
+The docs layer (README.md, ARCHITECTURE.md, EXPERIMENTS.md, ROADMAP.md,
+DESIGN.md) cross-references files and anchors; a rename silently rots
+them.  This checker walks every markdown link and validates the ones we
+can validate offline:
+
+* relative file links (``[text](DESIGN.md)``, ``(src/repro/cli.py)``)
+  must point at an existing file or directory inside the repo;
+* intra-document and cross-document anchors (``(#layer-diagram)``,
+  ``(ARCHITECTURE.md#module-index)``) must match a heading in the
+  target file, using GitHub's anchor-slug rules (lowercase, spaces to
+  hyphens, punctuation stripped);
+* external links (``http://``, ``https://``, ``mailto:``) are skipped —
+  CI must not depend on the network.
+
+Exit status is the number of broken links (0 = docs are clean), so the
+CI docs job can simply run ``python tools/check_md_links.py``.  Used by
+``tests/docs/test_md_links.py`` as a tier-1 gate too.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import sys
+from typing import Iterable, List, Tuple
+
+#: The documents whose links we guarantee.  Anchor *targets* may live in
+#: any file these link to, not just this list.
+DOCS = (
+    "README.md",
+    "ARCHITECTURE.md",
+    "EXPERIMENTS.md",
+    "ROADMAP.md",
+    "DESIGN.md",
+    "CHANGES.md",
+)
+
+#: ``[text](target)`` — good enough for our docs; fenced code blocks are
+#: stripped before matching so shell snippets cannot false-positive.
+_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+_FENCE = re.compile(r"^(```|~~~)")
+_HEADING = re.compile(r"^#{1,6}\s+(.*)$")
+#: GitHub's slugger drops everything but word characters, spaces, and
+#: hyphens before lowercasing and hyphenating.
+_SLUG_STRIP = re.compile(r"[^\w\- ]", re.UNICODE)
+
+
+def github_slug(heading: str) -> str:
+    """The anchor GitHub generates for a markdown heading."""
+    # Inline markup contributes its text only: strip code ticks and
+    # link targets before slugging.
+    heading = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", heading)
+    heading = heading.replace("`", "").replace("*", "").strip()
+    heading = _SLUG_STRIP.sub("", heading)
+    return heading.lower().replace(" ", "-")
+
+
+def _strip_fences(lines: Iterable[str]) -> List[str]:
+    kept: List[str] = []
+    in_fence = False
+    for line in lines:
+        if _FENCE.match(line.strip()):
+            in_fence = not in_fence
+            continue
+        if not in_fence:
+            kept.append(line)
+    return kept
+
+
+def anchors_in(path: str) -> set:
+    with open(path, encoding="utf-8") as fileobj:
+        lines = _strip_fences(fileobj.read().splitlines())
+    found = set()
+    for line in lines:
+        match = _HEADING.match(line)
+        if match:
+            found.add(github_slug(match.group(1)))
+    return found
+
+
+def links_in(path: str) -> List[Tuple[int, str]]:
+    with open(path, encoding="utf-8") as fileobj:
+        raw = fileobj.read().splitlines()
+    links: List[Tuple[int, str]] = []
+    in_fence = False
+    for lineno, line in enumerate(raw, start=1):
+        if _FENCE.match(line.strip()):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        for match in _LINK.finditer(line):
+            links.append((lineno, match.group(1)))
+    return links
+
+
+def check_file(path: str, repo_root: str) -> List[str]:
+    errors: List[str] = []
+    base_dir = os.path.dirname(path) or "."
+    for lineno, target in links_in(path):
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        file_part, _, anchor = target.partition("#")
+        if file_part:
+            resolved = os.path.normpath(os.path.join(base_dir, file_part))
+            if not resolved.startswith(repo_root):
+                errors.append(
+                    "%s:%d: link escapes the repo: %s" % (path, lineno, target)
+                )
+                continue
+            if not os.path.exists(resolved):
+                errors.append(
+                    "%s:%d: missing target: %s" % (path, lineno, target)
+                )
+                continue
+        else:
+            resolved = path  # pure '#anchor' refers to this document
+        if anchor:
+            if not resolved.endswith((".md", ".markdown")):
+                continue  # anchors into code files: nothing to validate
+            if github_slug(anchor) not in anchors_in(resolved):
+                errors.append(
+                    "%s:%d: missing anchor: %s" % (path, lineno, target)
+                )
+    return errors
+
+
+def main(argv: List[str]) -> int:
+    repo_root = os.path.abspath(
+        argv[1] if len(argv) > 1 else os.path.join(os.path.dirname(__file__), "..")
+    )
+    errors: List[str] = []
+    for name in DOCS:
+        doc = os.path.join(repo_root, name)
+        if os.path.exists(doc):
+            errors.extend(check_file(doc, repo_root))
+    for error in errors:
+        print(error, file=sys.stderr)
+    if not errors:
+        print("markdown links ok (%d documents)" % len(DOCS))
+    return len(errors)
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
