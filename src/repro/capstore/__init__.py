@@ -1,0 +1,63 @@
+"""Columnar capture store: dissect once, analyze many times (paper §3.2).
+
+The analysis plane of the toolchain.  ``build`` turns a pcap into a
+:class:`~repro.capstore.table.CaptureTable` (streaming, optionally over a
+worker pool), ``format`` persists it as a versioned ``.capidx`` sidecar,
+and ``cache`` makes the whole thing transparent to ``repro
+classify``/``analyze``: build on miss, validate by source fingerprint,
+load columns straight from disk on hit.
+"""
+
+from repro.capstore.build import (
+    build_capture_table,
+    build_from_records,
+    build_from_shards,
+    default_acknowledged,
+    default_asdb,
+    emit_stats_counters,
+)
+from repro.capstore.cache import (
+    fingerprint_matches,
+    load_or_build,
+    pcap_fingerprint,
+    sidecar_path,
+)
+from repro.capstore.format import (
+    MAGIC,
+    SCHEMA_VERSION,
+    CapIndexError,
+    IndexPayload,
+    dump_index,
+    dumps_index,
+    load_index,
+    read_header,
+)
+from repro.capstore.table import (
+    CapturedRowView,
+    CaptureTable,
+    ClassifiedView,
+)
+
+__all__ = [
+    "CaptureTable",
+    "CapturedRowView",
+    "ClassifiedView",
+    "build_capture_table",
+    "build_from_records",
+    "build_from_shards",
+    "default_asdb",
+    "default_acknowledged",
+    "emit_stats_counters",
+    "load_or_build",
+    "sidecar_path",
+    "pcap_fingerprint",
+    "fingerprint_matches",
+    "MAGIC",
+    "SCHEMA_VERSION",
+    "CapIndexError",
+    "IndexPayload",
+    "dump_index",
+    "dumps_index",
+    "load_index",
+    "read_header",
+]

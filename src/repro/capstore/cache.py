@@ -1,0 +1,190 @@
+"""Transparent sidecar caching: dissect once, analyze many times.
+
+:func:`load_or_build` is the analysis plane's single entry point.  On a
+cache miss it streams the pcap through the dissection pipeline (serial
+or parallel, see ``repro.capstore.build``) and writes the ``.capidx``
+sidecar next to the pcap; on a hit it deserializes columns straight from
+disk — no UDP decoding, no QUIC dissection, no AEAD validation.
+
+Validity is judged against a source fingerprint stored in the sidecar
+header: file size first (cheapest), then mtime_ns (a match lets us skip
+hashing the pcap), with a blake2b content hash as the authoritative
+check when the mtime moved — so a rewritten capture invalidates even
+with a back-dated timestamp, and a merely-touched file still hits.
+
+Everything is wired through ``repro.obs``: ``index.load``/``index.build``
+stage timers, a ``capstore.cache`` hit/miss/stale counter, and
+``capstore.rows`` row counts per class.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import sys
+from typing import Optional, Tuple
+
+from repro.capstore.build import (
+    build_capture_table,
+    default_acknowledged,
+    default_asdb,
+    emit_stats_counters,
+)
+from repro.capstore.format import (
+    CapIndexError,
+    IndexPayload,
+    dump_index,
+    load_index,
+)
+from repro.capstore.table import ClassifiedView
+from repro.obs import NULL_OBS, Observability
+from repro.obs.trace import CAT_CAPSTORE
+
+#: Pipeline identity recorded in the sidecar; a cache entry built with a
+#: different classification setup must not satisfy a default-pipeline read.
+DEFAULT_PIPELINE = {"asdb": "default", "acknowledged": "default", "validate_crypto_scans": True}
+
+
+def sidecar_path(pcap_path: str) -> str:
+    return pcap_path + ".capidx"
+
+
+def pcap_fingerprint(pcap_path: str, with_hash: bool = True) -> dict:
+    """Identity of the source pcap: size, mtime_ns, blake2b content hash."""
+    stat = os.stat(pcap_path)
+    fingerprint = {"size": stat.st_size, "mtime_ns": stat.st_mtime_ns}
+    if with_hash:
+        digest = hashlib.blake2b(digest_size=16)
+        with open(pcap_path, "rb") as fileobj:
+            for chunk in iter(lambda: fileobj.read(1 << 20), b""):
+                digest.update(chunk)
+        fingerprint["blake2b"] = digest.hexdigest()
+    return fingerprint
+
+
+def fingerprint_matches(stored: dict, pcap_path: str) -> bool:
+    """Is a stored fingerprint still valid for the pcap on disk?"""
+    if not stored:
+        return False
+    current = pcap_fingerprint(pcap_path, with_hash=False)
+    if stored.get("size") != current["size"]:
+        return False
+    if stored.get("mtime_ns") == current["mtime_ns"]:
+        return True  # unchanged inode metadata: trust without re-hashing
+    return stored.get("blake2b") == pcap_fingerprint(pcap_path)["blake2b"]
+
+
+def load_or_build(
+    pcap_path: str,
+    workers: int = 1,
+    use_cache: bool = True,
+    obs: Optional[Observability] = None,
+    validate_crypto_scans: bool = True,
+) -> Tuple[ClassifiedView, bool]:
+    """Return ``(view, cache_hit)`` for a pcap, building the index if needed.
+
+    With ``use_cache`` (the default) a valid ``.capidx`` sidecar is loaded
+    instead of dissecting, and a freshly built index is persisted for the
+    next run; ``use_cache=False`` both ignores and skips writing the
+    sidecar (the ``--no-cache`` escape hatch).
+    """
+    obs = obs or NULL_OBS
+    metrics = obs.metrics
+    tracer = obs.tracer
+    cache_counter = (
+        metrics.counter("capstore.cache", ("result",)) if metrics is not None else None
+    )
+    pipeline = dict(DEFAULT_PIPELINE)
+    pipeline["validate_crypto_scans"] = validate_crypto_scans
+    index_path = sidecar_path(pcap_path)
+
+    if use_cache and os.path.exists(index_path):
+        payload = _try_load(index_path, pcap_path, pipeline, obs)
+        if payload is not None:
+            if cache_counter is not None:
+                cache_counter.inc_key(("hit",))
+            _count_rows(payload, metrics)
+            emit_stats_counters(payload.stats, obs)
+            if tracer.enabled:
+                tracer.emit(
+                    CAT_CAPSTORE,
+                    "index_hit",
+                    path=index_path,
+                    rows=payload.table.num_rows,
+                )
+            return ClassifiedView(payload.table, payload.stats), True
+        if cache_counter is not None:
+            cache_counter.inc_key(("stale",))
+
+    if cache_counter is not None:
+        cache_counter.inc_key(("miss",))
+    if metrics is not None:
+        with metrics.time_block("index.build"):
+            table, stats = build_capture_table(
+                pcap_path,
+                workers=workers,
+                validate_crypto_scans=validate_crypto_scans,
+                obs=obs,
+            )
+    else:
+        table, stats = build_capture_table(
+            pcap_path,
+            workers=workers,
+            validate_crypto_scans=validate_crypto_scans,
+            obs=obs,
+        )
+    payload = IndexPayload(table=table, stats=stats, source={}, pipeline=pipeline)
+    _count_rows(payload, metrics)
+    if tracer.enabled:
+        tracer.emit(
+            CAT_CAPSTORE,
+            "index_built",
+            path=pcap_path,
+            rows=table.num_rows,
+            workers=workers,
+        )
+    if use_cache:
+        try:
+            dump_index(
+                index_path,
+                table,
+                stats,
+                source=pcap_fingerprint(pcap_path),
+                pipeline=pipeline,
+            )
+        except OSError as exc:  # read-only dir: analysis still proceeds
+            print(
+                "warning: could not write %s: %s" % (index_path, exc),
+                file=sys.stderr,
+            )
+    return ClassifiedView(table, stats), False
+
+
+def _try_load(
+    index_path: str, pcap_path: str, pipeline: dict, obs: Observability
+) -> Optional[IndexPayload]:
+    """Load + validate a sidecar; None on any mismatch or corruption."""
+    metrics = obs.metrics
+    try:
+        if metrics is not None:
+            with metrics.time_block("index.load"):
+                payload = load_index(index_path)
+        else:
+            payload = load_index(index_path)
+    except (CapIndexError, OSError):
+        return None
+    if payload.pipeline != pipeline:
+        return None
+    if not fingerprint_matches(payload.source, pcap_path):
+        return None
+    return payload
+
+
+def _count_rows(payload: IndexPayload, metrics) -> None:
+    if metrics is None:
+        return
+    rows = metrics.counter("capstore.rows", ("klass",))
+    if payload.stats.backscatter:
+        rows.inc_key(("backscatter",), payload.stats.backscatter)
+    if payload.stats.scans:
+        rows.inc_key(("scan",), payload.stats.scans)

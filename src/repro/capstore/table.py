@@ -1,0 +1,380 @@
+"""Columnar storage for sanitized telescope captures.
+
+A :class:`CaptureTable` holds one sanitized datagram per *row* in parallel
+typed arrays (``array`` module — compact, picklable, serializable with a
+single ``tobytes()`` per column), and one parsed long header per *packet*
+entry.  Rows reference their packets through a prefix-offset array, and
+variable-length packet fields (DCID/SCID/token/retry token) live as slices
+of one shared byte blob — the layout the paper's "dissect once, analyze
+many times" pipeline wants: dense, order-preserving, and cheap to
+concatenate across row groups built by parallel workers.
+
+Analyses never touch the arrays directly: :class:`CapturedRowView` lazily
+re-materializes :class:`~repro.telescope.classify.CapturedPacket`-shaped
+objects (real :class:`~repro.quic.packet.ParsedLongHeader` instances
+included), so every existing `core.*` consumer sees the exact API it was
+written against.
+"""
+
+from __future__ import annotations
+
+from array import array
+from typing import Iterator, List, Optional, Tuple
+
+from repro.quic.packet import PacketType, ParsedLongHeader
+from repro.telescope.classify import (
+    CapturedPacket,
+    ClassifiedCapture,
+    PacketClass,
+    SanitizationStats,
+)
+
+#: Row-level columns, in serialization order: (attribute, array typecode).
+ROW_COLUMNS: Tuple[Tuple[str, str], ...] = (
+    ("ts", "d"),
+    ("src_ip", "I"),
+    ("dst_ip", "I"),
+    ("src_port", "H"),
+    ("dst_port", "H"),
+    ("payload_len", "I"),
+    ("klass", "B"),
+    ("origin_id", "I"),
+)
+
+#: Packet-level columns, in serialization order.
+PACKET_COLUMNS: Tuple[Tuple[str, str], ...] = (
+    ("pkt_type", "B"),
+    ("pkt_version", "I"),
+    ("pkt_pn_offset", "I"),
+    ("pkt_length", "I"),
+    ("pkt_payload_length", "I"),
+    ("dcid_len", "B"),
+    ("scid_len", "B"),
+    ("token_len", "I"),
+    ("retry_token_len", "I"),
+)
+
+#: Prefix-offset columns: one more entry than their parent dimension.
+OFFSET_COLUMNS: Tuple[Tuple[str, str], ...] = (
+    ("pkt_start", "I"),  # row -> first packet index
+    ("bytes_start", "Q"),  # packet -> first blob byte
+    ("sv_start", "I"),  # packet -> first supported-version entry
+)
+
+_KLASS_CODES = {PacketClass.BACKSCATTER: 0, PacketClass.SCAN: 1}
+_KLASS_VALUES = (PacketClass.BACKSCATTER, PacketClass.SCAN)
+
+
+class CaptureTable:
+    """Sanitized capture as parallel columns; append-only."""
+
+    __slots__ = (
+        [name for name, _ in ROW_COLUMNS]
+        + [name for name, _ in PACKET_COLUMNS]
+        + [name for name, _ in OFFSET_COLUMNS]
+        + ["sv_values", "blob", "origins", "_origin_ids"]
+    )
+
+    def __init__(self) -> None:
+        for name, typecode in ROW_COLUMNS + PACKET_COLUMNS:
+            setattr(self, name, array(typecode))
+        for name, typecode in OFFSET_COLUMNS:
+            setattr(self, name, array(typecode, [0]))
+        self.sv_values = array("I")
+        self.blob = bytearray()
+        #: Origin string table, in first-seen order (deterministic for a
+        #: fixed row order, which makes serial and parallel builds agree).
+        self.origins: List[str] = []
+        self._origin_ids: dict = {}
+
+    # -- dimensions ------------------------------------------------------
+
+    @property
+    def num_rows(self) -> int:
+        return len(self.ts)
+
+    @property
+    def num_packets(self) -> int:
+        return len(self.pkt_type)
+
+    def __len__(self) -> int:
+        return self.num_rows
+
+    # -- building --------------------------------------------------------
+
+    def _origin_index(self, origin: str) -> int:
+        index = self._origin_ids.get(origin)
+        if index is None:
+            index = len(self.origins)
+            self.origins.append(origin)
+            self._origin_ids[origin] = index
+        return index
+
+    def append(self, packet: CapturedPacket) -> None:
+        """Append one sanitized datagram (row + its parsed packets)."""
+        self.ts.append(packet.timestamp)
+        self.src_ip.append(packet.src_ip)
+        self.dst_ip.append(packet.dst_ip)
+        self.src_port.append(packet.src_port)
+        self.dst_port.append(packet.dst_port)
+        self.payload_len.append(packet.udp_payload_length)
+        self.klass.append(_KLASS_CODES[packet.klass])
+        self.origin_id.append(self._origin_index(packet.origin))
+        for parsed in packet.packets:
+            self.pkt_type.append(parsed.packet_type.value)
+            self.pkt_version.append(parsed.version)
+            self.pkt_pn_offset.append(parsed.pn_offset)
+            self.pkt_length.append(parsed.packet_length)
+            self.pkt_payload_length.append(parsed.payload_length)
+            self.dcid_len.append(len(parsed.dcid))
+            self.scid_len.append(len(parsed.scid))
+            self.token_len.append(len(parsed.token))
+            self.retry_token_len.append(len(parsed.retry_token))
+            self.blob += parsed.dcid
+            self.blob += parsed.scid
+            self.blob += parsed.token
+            self.blob += parsed.retry_token
+            self.bytes_start.append(len(self.blob))
+            self.sv_values.extend(parsed.supported_versions)
+            self.sv_start.append(len(self.sv_values))
+        self.pkt_start.append(self.num_packets)
+
+    def extend(self, other: "CaptureTable") -> None:
+        """Append all rows of ``other``, remapping its origin table.
+
+        Concatenating row-group tables in record order reproduces exactly
+        the table a serial pass would build: per-row columns concatenate,
+        offsets shift by this table's totals, and the merged origin table
+        is still in global first-seen order.
+        """
+        origin_map = [self._origin_index(name) for name in other.origins]
+        for name, _ in ROW_COLUMNS:
+            if name == "origin_id":
+                continue
+            getattr(self, name).extend(getattr(other, name))
+        self.origin_id.extend(origin_map[i] for i in other.origin_id)
+        packet_base = self.num_packets
+        self.pkt_start.extend(packet_base + v for v in other.pkt_start[1:])
+        for name, _ in PACKET_COLUMNS:
+            getattr(self, name).extend(getattr(other, name))
+        blob_base = self.bytes_start[-1]
+        self.bytes_start.extend(blob_base + v for v in other.bytes_start[1:])
+        sv_base = self.sv_start[-1]
+        self.sv_start.extend(sv_base + v for v in other.sv_start[1:])
+        self.sv_values.extend(other.sv_values)
+        self.blob += other.blob
+
+    def append_row_from(self, other: "CaptureTable", row: int) -> None:
+        """Append row ``row`` of ``other`` (used by the k-way shard merge)."""
+        self.ts.append(other.ts[row])
+        self.src_ip.append(other.src_ip[row])
+        self.dst_ip.append(other.dst_ip[row])
+        self.src_port.append(other.src_port[row])
+        self.dst_port.append(other.dst_port[row])
+        self.payload_len.append(other.payload_len[row])
+        self.klass.append(other.klass[row])
+        self.origin_id.append(self._origin_index(other.origins[other.origin_id[row]]))
+        for j in range(other.pkt_start[row], other.pkt_start[row + 1]):
+            for name, _ in PACKET_COLUMNS:
+                getattr(self, name).append(getattr(other, name)[j])
+            self.blob += other.blob[other.bytes_start[j] : other.bytes_start[j + 1]]
+            self.bytes_start.append(len(self.blob))
+            self.sv_values.extend(
+                other.sv_values[other.sv_start[j] : other.sv_start[j + 1]]
+            )
+            self.sv_start.append(len(self.sv_values))
+        self.pkt_start.append(self.num_packets)
+
+    def rebuild_origin_index(self) -> None:
+        """Recompute the name→id map after deserialization."""
+        self._origin_ids = {name: i for i, name in enumerate(self.origins)}
+
+    # -- reading ---------------------------------------------------------
+
+    def packets_of(self, row: int) -> List[ParsedLongHeader]:
+        """Materialize the parsed long headers of one row."""
+        out: List[ParsedLongHeader] = []
+        for j in range(self.pkt_start[row], self.pkt_start[row + 1]):
+            cursor = self.bytes_start[j]
+            dcid_end = cursor + self.dcid_len[j]
+            scid_end = dcid_end + self.scid_len[j]
+            token_end = scid_end + self.token_len[j]
+            retry_end = token_end + self.retry_token_len[j]
+            out.append(
+                ParsedLongHeader(
+                    packet_type=PacketType(self.pkt_type[j]),
+                    version=self.pkt_version[j],
+                    dcid=bytes(self.blob[cursor:dcid_end]),
+                    scid=bytes(self.blob[dcid_end:scid_end]),
+                    token=bytes(self.blob[scid_end:token_end]),
+                    pn_offset=self.pkt_pn_offset[j],
+                    packet_length=self.pkt_length[j],
+                    payload_length=self.pkt_payload_length[j],
+                    supported_versions=tuple(
+                        self.sv_values[self.sv_start[j] : self.sv_start[j + 1]]
+                    ),
+                    retry_token=bytes(self.blob[token_end:retry_end]),
+                )
+            )
+        return out
+
+    def row_view(self, row: int) -> "CapturedRowView":
+        return CapturedRowView(self, row)
+
+    def materialize(self, row: int) -> CapturedPacket:
+        """Build a real :class:`CapturedPacket` for one row."""
+        return CapturedPacket(
+            timestamp=self.ts[row],
+            src_ip=self.src_ip[row],
+            dst_ip=self.dst_ip[row],
+            src_port=self.src_port[row],
+            dst_port=self.dst_port[row],
+            udp_payload_length=self.payload_len[row],
+            packets=self.packets_of(row),
+            klass=_KLASS_VALUES[self.klass[row]],
+            origin=self.origins[self.origin_id[row]],
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, CaptureTable):
+            return NotImplemented
+        if self.origins != other.origins or self.blob != other.blob:
+            return False
+        return all(
+            getattr(self, name) == getattr(other, name)
+            for name, _ in ROW_COLUMNS + PACKET_COLUMNS + OFFSET_COLUMNS
+        ) and self.sv_values == other.sv_values
+
+    __hash__ = None  # mutable container
+
+
+class CapturedRowView:
+    """A ``CapturedPacket``-shaped window onto one table row.
+
+    Attribute-compatible with :class:`CapturedPacket` (including the
+    ``coalesced`` / ``remote_ip`` properties), so analyses accept views
+    and materialized packets interchangeably.  Parsed packet headers are
+    materialized on first access and cached — session grouping touches
+    ``packets`` repeatedly for the same row.
+    """
+
+    __slots__ = ("_table", "_row", "_packets")
+
+    def __init__(self, table: CaptureTable, row: int) -> None:
+        self._table = table
+        self._row = row
+        self._packets: Optional[List[ParsedLongHeader]] = None
+
+    @property
+    def timestamp(self) -> float:
+        return self._table.ts[self._row]
+
+    @property
+    def src_ip(self) -> int:
+        return self._table.src_ip[self._row]
+
+    @property
+    def dst_ip(self) -> int:
+        return self._table.dst_ip[self._row]
+
+    @property
+    def src_port(self) -> int:
+        return self._table.src_port[self._row]
+
+    @property
+    def dst_port(self) -> int:
+        return self._table.dst_port[self._row]
+
+    @property
+    def udp_payload_length(self) -> int:
+        return self._table.payload_len[self._row]
+
+    @property
+    def packets(self) -> List[ParsedLongHeader]:
+        if self._packets is None:
+            self._packets = self._table.packets_of(self._row)
+        return self._packets
+
+    @property
+    def klass(self) -> PacketClass:
+        return _KLASS_VALUES[self._table.klass[self._row]]
+
+    @property
+    def origin(self) -> str:
+        return self._table.origins[self._table.origin_id[self._row]]
+
+    @property
+    def coalesced(self) -> bool:
+        return self._table.pkt_start[self._row + 1] - self._table.pkt_start[self._row] > 1
+
+    @property
+    def remote_ip(self) -> int:
+        return self.src_ip
+
+    def to_packet(self) -> CapturedPacket:
+        return self._table.materialize(self._row)
+
+    def __repr__(self) -> str:
+        return "CapturedRowView(row=%d, klass=%s, origin=%s)" % (
+            self._row,
+            self.klass.value,
+            self.origin,
+        )
+
+
+class ClassifiedView:
+    """:class:`ClassifiedCapture`-compatible facade over a CaptureTable.
+
+    Exposes ``backscatter`` / ``scans`` / ``stats`` / ``__len__`` exactly
+    like the object pipeline's output, with rows wrapped in
+    :class:`CapturedRowView`; the split lists are built lazily on first
+    access.
+    """
+
+    def __init__(self, table: CaptureTable, stats: SanitizationStats) -> None:
+        self.table = table
+        self.stats = stats
+        self._backscatter: Optional[List[CapturedRowView]] = None
+        self._scans: Optional[List[CapturedRowView]] = None
+
+    def _split(self) -> None:
+        backscatter: List[CapturedRowView] = []
+        scans: List[CapturedRowView] = []
+        klass = self.table.klass
+        for row in range(self.table.num_rows):
+            (backscatter if klass[row] == 0 else scans).append(
+                CapturedRowView(self.table, row)
+            )
+        self._backscatter = backscatter
+        self._scans = scans
+
+    @property
+    def backscatter(self) -> List[CapturedRowView]:
+        if self._backscatter is None:
+            self._split()
+        return self._backscatter
+
+    @property
+    def scans(self) -> List[CapturedRowView]:
+        if self._scans is None:
+            self._split()
+        return self._scans
+
+    def __len__(self) -> int:
+        return self.table.num_rows
+
+    def iter_rows(self) -> Iterator[CapturedRowView]:
+        for row in range(self.table.num_rows):
+            yield CapturedRowView(self.table, row)
+
+    def to_classified_capture(self) -> ClassifiedCapture:
+        """Fully materialize into the legacy object representation."""
+        out = ClassifiedCapture(stats=self.stats)
+        for row in range(self.table.num_rows):
+            packet = self.table.materialize(row)
+            (
+                out.backscatter
+                if packet.klass is PacketClass.BACKSCATTER
+                else out.scans
+            ).append(packet)
+        return out

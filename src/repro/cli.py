@@ -1,12 +1,14 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Five commands cover the toolchain end to end:
+The commands cover the toolchain end to end:
 
 * ``simulate`` — build a telescope measurement month and write the capture
   to a standard pcap file;
 * ``classify`` — run the sanitization pipeline over a pcap and print what
   was kept and removed (``--json`` for machine-readable stats);
 * ``analyze``  — reproduce the paper's tables from a pcap;
+* ``index``    — prebuild or inspect the ``.capidx`` columnar index that
+  ``classify``/``analyze`` cache their dissection results in;
 * ``probe``    — run the active-measurement experiments against a
   simulated deployment (host-ID enumeration, LB-type inference,
   migration survival);
@@ -14,6 +16,11 @@ Five commands cover the toolchain end to end:
   or diff two snapshots (``--diff A.json B.json``);
 * ``trace``    — inspect JSONL traces (``trace summarize`` prints
   per-category counts and top event names).
+
+``classify``/``analyze``/``index`` share the columnar analysis plane
+(``repro.capstore``): one streaming dissection pass — parallelizable with
+``--workers N`` — builds a ``.capidx`` sidecar next to the pcap, and
+subsequent runs load columns straight from disk (``--no-cache`` opts out).
 
 ``simulate``/``classify``/``analyze``/``probe`` all accept ``--trace
 FILE.qlog.jsonl`` (structured event stream, one JSON object per line) and
@@ -31,14 +38,19 @@ import argparse
 import json
 import sys
 
+from repro.capstore import (
+    fingerprint_matches,
+    load_or_build,
+    read_header,
+    sidecar_path,
+)
+from repro.capstore.build import default_acknowledged, default_asdb
 from repro.core.packet_mix import TABLE3_ROWS, packet_mix, top_length_signatures
 from repro.core.report import render_histogram, render_table
 from repro.core.scid_stats import table4
 from repro.core.summary import HYPERGIANT_COLUMNS, summarize
 from repro.core.timing import timing_profiles
 from repro.core.versions import TABLE2_ROWS, table2
-from repro.inetdata.asdb import AsDatabase, AsEntry
-from repro.netstack.pcap import read_pcap
 from repro.obs import (
     JsonlTracer,
     MetricsRegistry,
@@ -46,20 +58,21 @@ from repro.obs import (
     PromFileWriter,
     RingBufferTracer,
     SamplingTracer,
+    install_signal_dump,
     load_snapshot,
     start_http_exporter,
 )
 from repro.obs.trace import read_trace
-from repro.telescope.acknowledged import AcknowledgedScanners
-from repro.telescope.classify import ClassifiedCapture, classify_capture
 from repro.workloads.scenario import (
-    RESEARCH_NETWORKS,
     ScenarioConfig,
     april_2021_config,
     build_scenario,
 )
 
 ORIGINS = ("Cloudflare", "Facebook", "Google", "Remaining")
+
+#: Table selectors understood by ``repro analyze --tables``.
+VALID_TABLES = ("1", "2", "3", "4", "rto", "lengths")
 
 
 # ---------------------------------------------------------------------------
@@ -88,6 +101,13 @@ def _add_obs_flags(parser: argparse.ArgumentParser) -> None:
         metavar="K",
         help="flight-recorder mode: keep the last K events in memory and "
         "dump them to the --trace file on exit (or crash)",
+    )
+    parser.add_argument(
+        "--trace-ring-signal",
+        action="store_true",
+        help="with --trace-ring: also dump the ring to the --trace file on "
+        "SIGUSR1, so long runs can be inspected mid-flight (no-op on "
+        "platforms without SIGUSR1)",
     )
     parser.add_argument(
         "--metrics",
@@ -139,7 +159,10 @@ def _make_obs(args: argparse.Namespace, force_metrics: bool = False) -> Observab
         raise SystemExit("--trace-ring needs --trace FILE to dump into")
     tracer = None
     if ring:
-        tracer = RingBufferTracer(capacity=ring, dump_path=trace_path)
+        ring_tracer = RingBufferTracer(capacity=ring, dump_path=trace_path)
+        if getattr(args, "trace_ring_signal", False):
+            install_signal_dump(ring_tracer)  # no-op without SIGUSR1
+        tracer = ring_tracer
     elif trace_path:
         tracer = JsonlTracer.to_path(trace_path)
     if tracer is not None and sample:
@@ -188,38 +211,30 @@ def _finish_obs(args: argparse.Namespace, obs: Observability) -> None:
         obs.metrics.write(args.metrics)
 
 
-def _default_asdb() -> AsDatabase:
-    from repro.workloads.scenario import ISP_NETWORKS
-
-    asdb = AsDatabase.with_hypergiants()
-    for asn, name, prefix in ISP_NETWORKS:
-        asdb.register(prefix, AsEntry(asn, name, category="isp"))
-    return asdb
+# The CLI's AS database / acknowledged-scanner registry now live in
+# ``repro.capstore.build`` so index-build worker processes can construct
+# them by (picklable) reference; these aliases keep old import paths alive.
+_default_asdb = default_asdb
+_default_acknowledged = default_acknowledged
 
 
-def _default_acknowledged() -> AcknowledgedScanners:
-    scanners = AcknowledgedScanners()
-    for prefix, name in RESEARCH_NETWORKS:
-        scanners.register(prefix, name)
-    return scanners
+def _load_capture(args: argparse.Namespace, obs: Observability | None = None):
+    """Load the sanitized capture through the columnar analysis plane.
 
-
-def _load_capture(path: str, obs: Observability | None = None) -> ClassifiedCapture:
+    Delegates to :func:`repro.capstore.load_or_build`: a valid ``.capidx``
+    sidecar loads columns straight from disk (``index.load`` timer, cache
+    ``hit`` counter); otherwise one streaming dissection pass builds the
+    table — over ``--workers N`` row groups when requested — and persists
+    the sidecar unless ``--no-cache``.
+    """
     obs = obs or Observability()
-    if obs.metrics is not None:
-        with obs.metrics.time_block("read_pcap"):
-            records = read_pcap(path)
-        with obs.metrics.time_block("classify"):
-            return classify_capture(
-                records,
-                asdb=_default_asdb(),
-                acknowledged=_default_acknowledged(),
-                obs=obs,
-            )
-    records = read_pcap(path)
-    return classify_capture(
-        records, asdb=_default_asdb(), acknowledged=_default_acknowledged(), obs=obs
+    view, _cache_hit = load_or_build(
+        args.pcap,
+        workers=getattr(args, "workers", 1),
+        use_cache=not getattr(args, "no_cache", False),
+        obs=obs,
     )
+    return view
 
 
 # ---------------------------------------------------------------------------
@@ -304,7 +319,11 @@ def _simulate_sharded(args: argparse.Namespace, config: ScenarioConfig) -> int:
 def cmd_classify(args: argparse.Namespace) -> int:
     obs = _make_obs(args, force_metrics=args.json)
     try:
-        capture = _load_capture(args.pcap, obs=obs)
+        if obs.metrics is not None:
+            with obs.metrics.time_block("classify"):
+                capture = _load_capture(args, obs=obs)
+        else:
+            capture = _load_capture(args, obs=obs)
     finally:
         _finish_obs(args, obs)
     stats = capture.stats
@@ -345,24 +364,57 @@ def cmd_classify(args: argparse.Namespace) -> int:
     return 0
 
 
+def _validate_tables(tables) -> set:
+    """Resolve ``--tables`` before anything touches the pcap.
+
+    Unknown names abort with the list of valid selectors — previously
+    they were silently intersected away, so a typo like ``--tables rt0``
+    cost a full dissection pass just to print nothing.
+    """
+    if not tables:
+        return {"1", "2", "3", "4"}
+    unknown = sorted(set(tables) - set(VALID_TABLES))
+    if unknown:
+        raise SystemExit(
+            "repro analyze: unknown table name%s %s (valid names: %s)"
+            % (
+                "s" if len(unknown) > 1 else "",
+                ", ".join(unknown),
+                ", ".join(VALID_TABLES),
+            )
+        )
+    return set(tables)
+
+
 def cmd_analyze(args: argparse.Namespace) -> int:
+    wanted = _validate_tables(args.tables)
     obs = _make_obs(args)
     try:
-        capture = _load_capture(args.pcap, obs=obs)
+        capture = _load_capture(args, obs=obs)
         if obs.metrics is not None:
             with obs.metrics.time_block("analyze"):
-                return _analyze_tables(args, capture)
-        return _analyze_tables(args, capture)
+                print(render_analysis(capture, wanted))
+        else:
+            print(render_analysis(capture, wanted))
+        return 0
     finally:
         _finish_obs(args, obs)
 
 
-def _analyze_tables(args: argparse.Namespace, capture: ClassifiedCapture) -> int:
-    wanted = set(args.tables) if args.tables else {"1", "2", "3", "4"}
+def render_analysis(capture, wanted: set) -> str:
+    """Render the selected paper tables for a classified capture.
+
+    ``capture`` is anything with ``backscatter``/``scans`` lists of
+    CapturedPacket-shaped objects — the legacy
+    :class:`~repro.telescope.classify.ClassifiedCapture` and the columnar
+    :class:`~repro.capstore.ClassifiedView` render byte-identically,
+    which the equivalence tests and ``bench_analyze`` assert.
+    """
+    parts: list[str] = []
 
     if "1" in wanted:
         summary = summarize(capture.backscatter)
-        print(
+        parts.append(
             render_table(
                 ["Feature"] + list(HYPERGIANT_COLUMNS),
                 [
@@ -380,10 +432,10 @@ def _analyze_tables(args: argparse.Namespace, capture: ClassifiedCapture) -> int
                 title="Table 1 — deployment configurations",
             )
         )
-        print()
+        parts.append("")
     if "2" in wanted:
         shares = table2(capture)
-        print(
+        parts.append(
             render_table(
                 ["QUIC version", "Clients [%]", "Servers [%]"],
                 [
@@ -397,10 +449,10 @@ def _analyze_tables(args: argparse.Namespace, capture: ClassifiedCapture) -> int
                 title="Table 2 — version adoption",
             )
         )
-        print()
+        parts.append("")
     if "3" in wanted:
         mix = packet_mix(capture.backscatter + capture.scans)
-        print(
+        parts.append(
             render_table(
                 ["Packet type"] + list(ORIGINS),
                 [
@@ -410,10 +462,10 @@ def _analyze_tables(args: argparse.Namespace, capture: ClassifiedCapture) -> int
                 title="Table 3 — packet types per source network [%]",
             )
         )
-        print()
+        parts.append("")
     if "4" in wanted:
         stats = table4(capture.backscatter)
-        print(
+        parts.append(
             render_table(
                 ["Origin AS", "SCID length", "Unique SCIDs"],
                 [
@@ -424,10 +476,10 @@ def _analyze_tables(args: argparse.Namespace, capture: ClassifiedCapture) -> int
                 title="Table 4 — SCID statistics",
             )
         )
-        print()
+        parts.append("")
     if "rto" in wanted:
         profiles = timing_profiles(capture.backscatter)
-        print(
+        parts.append(
             render_table(
                 ["Origin", "sessions", "initial RTO [s]", "resends"],
                 [
@@ -443,11 +495,71 @@ def _analyze_tables(args: argparse.Namespace, capture: ClassifiedCapture) -> int
                 title="Figure 3/4 — retransmission behaviour",
             )
         )
-        print()
+        parts.append("")
     if "lengths" in wanted:
         for origin, entries in top_length_signatures(capture.backscatter).items():
-            print(render_histogram(entries, width=30, title=origin))
-            print()
+            parts.append(render_histogram(entries, width=30, title=origin))
+            parts.append("")
+    return "\n".join(parts)
+
+
+def cmd_index(args: argparse.Namespace) -> int:
+    """Prebuild or inspect the ``.capidx`` sidecar for a pcap."""
+    index_path = sidecar_path(args.pcap)
+    if args.info:
+        try:
+            header = read_header(index_path)
+        except FileNotFoundError:
+            print("%s: no index (run `repro index %s`)" % (index_path, args.pcap))
+            return 1
+        except Exception as exc:  # CapIndexError and friends
+            print("%s: unreadable index: %s" % (index_path, exc))
+            return 1
+        stats = header.get("stats", {})
+        valid = fingerprint_matches(header.get("source", {}), args.pcap)
+        print(
+            render_table(
+                ["field", "value"],
+                [
+                    ["schema version", header["_schema_version"]],
+                    ["rows", header["rows"]],
+                    ["packets", header["packets"]],
+                    ["origins", ", ".join(header.get("origins", []))],
+                    ["backscatter", stats.get("backscatter", "?")],
+                    ["scans", stats.get("scans", "?")],
+                    ["source records", stats.get("total_records", "?")],
+                    ["source size", header.get("source", {}).get("size", "?")],
+                    ["valid for pcap", "yes" if valid else "STALE"],
+                ],
+                title="Capture index %s" % index_path,
+            )
+        )
+        return 0 if valid else 1
+    if args.force:
+        import os as _os
+
+        try:
+            _os.unlink(index_path)
+        except FileNotFoundError:
+            pass
+    obs = _make_obs(args, force_metrics=True)
+    try:
+        view, cache_hit = load_or_build(args.pcap, workers=args.workers, obs=obs)
+    finally:
+        _finish_obs(args, obs)
+    stats = view.stats
+    print(
+        "%s %s: %d rows (%d backscatter, %d scans) from %d records%s"
+        % (
+            "Validated" if cache_hit else "Indexed",
+            index_path,
+            len(view),
+            stats.backscatter,
+            stats.scans,
+            stats.total_records,
+            "" if cache_hit else " [workers=%d]" % args.workers,
+        )
+    )
     return 0
 
 
@@ -756,6 +868,21 @@ def build_parser() -> argparse.ArgumentParser:
     _add_prom_flags(simulate)
     simulate.set_defaults(func=cmd_simulate)
 
+    def _add_capstore_flags(command: argparse.ArgumentParser) -> None:
+        command.add_argument(
+            "--workers",
+            type=int,
+            default=1,
+            metavar="N",
+            help="dissect the pcap over N worker processes on an index "
+            "cache miss (row-group parallel; output identical for any N)",
+        )
+        command.add_argument(
+            "--no-cache",
+            action="store_true",
+            help="ignore and do not write the .capidx sidecar index",
+        )
+
     classify = sub.add_parser("classify", help="sanitize a pcap, print stats")
     classify.add_argument("pcap")
     classify.add_argument(
@@ -763,6 +890,7 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="emit machine-readable stats (includes the metrics snapshot)",
     )
+    _add_capstore_flags(classify)
     _add_obs_flags(classify)
     classify.set_defaults(func=cmd_classify)
 
@@ -771,11 +899,37 @@ def build_parser() -> argparse.ArgumentParser:
     analyze.add_argument(
         "--tables",
         nargs="*",
-        choices=("1", "2", "3", "4", "rto", "lengths"),
-        help="which outputs to print (default: 1 2 3 4)",
+        metavar="NAME",
+        help="which outputs to print: %s (default: 1 2 3 4); unknown "
+        "names abort before the pcap is read" % " ".join(VALID_TABLES),
     )
+    _add_capstore_flags(analyze)
     _add_obs_flags(analyze)
     analyze.set_defaults(func=cmd_analyze)
+
+    index = sub.add_parser(
+        "index", help="prebuild or inspect the .capidx analysis index"
+    )
+    index.add_argument("pcap")
+    index.add_argument(
+        "--info",
+        action="store_true",
+        help="inspect the existing index header instead of building",
+    )
+    index.add_argument(
+        "--force",
+        action="store_true",
+        help="rebuild even when a valid index exists",
+    )
+    index.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help="dissect over N worker processes when building",
+    )
+    _add_obs_flags(index)
+    index.set_defaults(func=cmd_index)
 
     probe = sub.add_parser("probe", help="run active experiments against a lab")
     probe.add_argument(

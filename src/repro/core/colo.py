@@ -10,6 +10,7 @@ the Cloudflare analogue of the Facebook L7LB enumeration.
 from __future__ import annotations
 
 from collections import defaultdict
+from typing import Sequence
 from dataclasses import dataclass
 
 from repro.quic.cid.cloudflare import decode_colo_id, looks_like_cloudflare
@@ -32,7 +33,7 @@ class ColoView:
 
 
 def cloudflare_colos(
-    packets: list[CapturedPacket], origin: str = "Cloudflare"
+    packets: Sequence[CapturedPacket], origin: str = "Cloudflare"
 ) -> ColoView:
     """Extract colo/metal structure from Cloudflare backscatter SCIDs."""
     metals: dict[int, set[int]] = defaultdict(set)

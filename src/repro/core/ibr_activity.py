@@ -10,6 +10,7 @@ groundwork for "will QUIC backscatter persist" style arguments (§5).
 from __future__ import annotations
 
 from collections import Counter, defaultdict
+from typing import Sequence
 from dataclasses import dataclass, field
 
 from repro.telescope.classify import CapturedPacket
@@ -38,7 +39,7 @@ class FloodEvent:
 
 
 def activity_series(
-    packets: list[CapturedPacket], bin_width: float = 60.0
+    packets: Sequence[CapturedPacket], bin_width: float = 60.0
 ) -> dict[float, int]:
     """Packets per time bin — the capture's activity curve."""
     series: Counter = Counter()
@@ -48,7 +49,7 @@ def activity_series(
 
 
 def detect_flood_events(
-    packets: list[CapturedPacket],
+    packets: Sequence[CapturedPacket],
     quiet_gap: float = 120.0,
     min_packets: int = 10,
 ) -> list[FloodEvent]:
@@ -109,5 +110,5 @@ class IbrSummary:
         return sorted(self.events, key=lambda e: e.packets, reverse=True)[:top]
 
 
-def summarize_ibr(packets: list[CapturedPacket], **kwargs) -> IbrSummary:
+def summarize_ibr(packets: Sequence[CapturedPacket], **kwargs) -> IbrSummary:
     return IbrSummary(events=detect_flood_events(packets, **kwargs))

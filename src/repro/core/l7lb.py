@@ -15,6 +15,7 @@ This module provides:
 from __future__ import annotations
 
 from collections import defaultdict
+from typing import Sequence
 from dataclasses import dataclass, field
 
 from repro.quic.cid import mvfst
@@ -43,7 +44,7 @@ def host_ids_from_scids(scids) -> set[int]:
 
 
 def passive_host_ids(
-    packets: list[CapturedPacket], origin: str = "Facebook"
+    packets: Sequence[CapturedPacket], origin: str = "Facebook"
 ) -> dict[int, set[int]]:
     """Per-VIP host IDs observed in backscatter from ``origin``."""
     out: dict[int, set[int]] = defaultdict(set)

@@ -11,6 +11,7 @@ QScanner verification.
 from __future__ import annotations
 
 from collections import defaultdict
+from typing import Sequence
 from dataclasses import dataclass, field
 
 from repro.core.session import SessionStore
@@ -143,7 +144,7 @@ class ClassifierMetrics:
 
 
 def extract_features(
-    packets: list[CapturedPacket],
+    packets: Sequence[CapturedPacket],
     exclude_origins: tuple[str, ...] = ("Facebook", "Google", "Cloudflare"),
 ) -> dict[int, ServerFeatures]:
     """Per-server features from backscatter outside hypergiant ASes."""

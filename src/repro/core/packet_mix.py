@@ -10,6 +10,7 @@ from distinct padding policies.
 from __future__ import annotations
 
 from collections import Counter, defaultdict
+from typing import Sequence
 from dataclasses import dataclass, field
 
 from repro.quic.packet import PacketType
@@ -70,7 +71,7 @@ class PacketMix:
         return self.coalescence_share(origin) > threshold
 
 
-def packet_mix(packets: list[CapturedPacket]) -> PacketMix:
+def packet_mix(packets: Sequence[CapturedPacket]) -> PacketMix:
     """Compute Table 3 from classified backscatter."""
     counts: dict[str, Counter] = defaultdict(Counter)
     for packet in packets:
@@ -87,7 +88,7 @@ def length_signature(packet: CapturedPacket) -> str:
 
 
 def top_length_signatures(
-    packets: list[CapturedPacket], top: int = 7
+    packets: Sequence[CapturedPacket], top: int = 7
 ) -> dict[str, list[tuple[str, int]]]:
     """Per-origin top-N packet-length combinations (Figure 7)."""
     per_origin: dict[str, Counter] = defaultdict(Counter)

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 from collections import Counter, defaultdict
+from typing import Sequence
 from dataclasses import dataclass
 
 from repro.quic.packet import PacketType
@@ -41,7 +42,7 @@ class ScidStats:
         return "%d (%s)" % (dominant, ", ".join(str(l) for l in others))
 
 
-def scids_by_origin(packets: list[CapturedPacket]) -> dict[str, set[bytes]]:
+def scids_by_origin(packets: Sequence[CapturedPacket]) -> dict[str, set[bytes]]:
     """Unique server connection IDs per origin, from backscatter."""
     out: dict[str, set[bytes]] = defaultdict(set)
     for packet in packets:
@@ -56,7 +57,7 @@ def scids_by_origin(packets: list[CapturedPacket]) -> dict[str, set[bytes]]:
     return dict(out)
 
 
-def table4(packets: list[CapturedPacket]) -> dict[str, ScidStats]:
+def table4(packets: Sequence[CapturedPacket]) -> dict[str, ScidStats]:
     return {
         origin: ScidStats(origin=origin, unique_scids=scids)
         for origin, scids in scids_by_origin(packets).items()

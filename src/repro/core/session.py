@@ -9,7 +9,7 @@ retransmission timing by grouping backscatter on the SCID (Figure 3).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Iterable
 
 if TYPE_CHECKING:  # imported lazily to avoid a telescope<->core import cycle
     from repro.telescope.classify import CapturedPacket
@@ -91,7 +91,14 @@ class SessionStore:
         return session
 
     @classmethod
-    def from_packets(cls, packets: list[CapturedPacket]) -> "SessionStore":
+    def from_packets(cls, packets: Iterable[CapturedPacket]) -> "SessionStore":
+        """Group packets into sessions.
+
+        Accepts any iterable of CapturedPacket-shaped rows — including
+        :class:`repro.capstore.CapturedRowView` adapters, whose cached
+        ``packets`` materialization keeps the repeated ``key_of`` /
+        ``add`` accesses cheap.
+        """
         store = cls()
         for packet in packets:
             store.add(packet)

@@ -43,7 +43,7 @@ class DeploymentSummary:
 
 
 def summarize(
-    backscatter: list[CapturedPacket],
+    backscatter: Sequence[CapturedPacket],
     echo_detected_origins: frozenset[str] = frozenset({"Google"}),
 ) -> dict[str, DeploymentSummary]:
     """Build Table 1 from classified backscatter.

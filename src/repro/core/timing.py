@@ -15,6 +15,7 @@ from __future__ import annotations
 
 import statistics
 from collections import Counter, defaultdict
+from typing import Sequence
 from dataclasses import dataclass, field
 
 from repro.core.session import Session, SessionStore
@@ -79,7 +80,7 @@ def estimate_backoff(session: Session) -> float | None:
     return statistics.median(ratios) if ratios else None
 
 
-def timing_profiles(packets: list[CapturedPacket]) -> dict[str, TimingProfile]:
+def timing_profiles(packets: Sequence[CapturedPacket]) -> dict[str, TimingProfile]:
     """Per-origin timing profiles from classified backscatter."""
     store = SessionStore.from_packets(packets)
     by_origin: dict[str, list[Session]] = defaultdict(list)
@@ -110,7 +111,7 @@ def timing_profiles(packets: list[CapturedPacket]) -> dict[str, TimingProfile]:
 
 
 def gap_histogram(
-    packets: list[CapturedPacket], bin_width: float = 0.1, max_seconds: float = 60.0
+    packets: Sequence[CapturedPacket], bin_width: float = 0.1, max_seconds: float = 60.0
 ) -> dict[str, Counter]:
     """Figure 3's raw series: per-origin histogram of time-since-first-SCID."""
     store = SessionStore.from_packets(packets)
@@ -123,7 +124,7 @@ def gap_histogram(
     return dict(histogram)
 
 
-def resend_count_distribution(packets: list[CapturedPacket]) -> dict[str, Counter]:
+def resend_count_distribution(packets: Sequence[CapturedPacket]) -> dict[str, Counter]:
     """Figure 4's series: per-origin distribution of resent flights."""
     profiles = timing_profiles(packets)
     return {origin: profile.resend_counts for origin, profile in profiles.items()}

@@ -116,10 +116,80 @@ def write_pcap(path: str, records: Iterable[PcapRecord]) -> None:
         PcapWriter(fileobj).write_all(records)
 
 
-def read_pcap(path: str) -> list[PcapRecord]:
-    """Convenience: read all records from ``path``."""
+def iter_pcap(path: str) -> Iterator[PcapRecord]:
+    """Stream records from ``path`` without materializing the file.
+
+    This is the hot-path reader: the analysis pipeline dissects records
+    as they stream by (``repro.capstore``), so a multi-GB capture never
+    has to fit in memory as a Python list.
+    """
     with open(path, "rb") as fileobj:
-        return list(PcapReader(fileobj))
+        yield from PcapReader(fileobj)
+
+
+def iter_pcap_range(path: str, offset: int, count: int) -> Iterator[PcapRecord]:
+    """Stream ``count`` records starting at byte ``offset``.
+
+    ``offset`` must point at a record header (use
+    :func:`scan_pcap_offsets`); this is how parallel index builders hand
+    each worker its own contiguous row group of one pcap.
+    """
+    with open(path, "rb") as fileobj:
+        reader = PcapReader(fileobj)  # validates magic, fixes endianness
+        fileobj.seek(offset)
+        records = iter(reader)
+        for _ in range(count):
+            try:
+                yield next(records)
+            except StopIteration:
+                raise PcapError(
+                    "row group at offset %d ends before %d records" % (offset, count)
+                ) from None
+
+
+def read_pcap(path: str) -> list[PcapRecord]:
+    """Convenience: read all records from ``path``.
+
+    Prefer :func:`iter_pcap` in hot paths — this helper exists for small
+    captures and tests where a list is genuinely wanted.
+    """
+    return list(iter_pcap(path))
+
+
+def scan_pcap_offsets(path: str) -> list[int]:
+    """Byte offset of every record header in ``path``.
+
+    Seeks over the payloads, so the scan costs one header read per record
+    — cheap enough to plan row-group splits before a parallel dissection
+    pass.  Raises :class:`PcapError` on truncated files.
+    """
+    offsets: list[int] = []
+    with open(path, "rb") as fileobj:
+        head = fileobj.read(_GLOBAL_HEADER.size)
+        if len(head) < _GLOBAL_HEADER.size:
+            raise PcapError("truncated pcap global header")
+        magic = struct.unpack("<I", head[:4])[0]
+        if magic == MAGIC:
+            endian = "<"
+        elif magic == MAGIC_SWAPPED:
+            endian = ">"
+        else:
+            raise PcapError("bad pcap magic 0x%08x" % magic)
+        record_struct = struct.Struct(endian + "IIII")
+        fileobj.seek(0, 2)
+        end = fileobj.tell()
+        pos = _GLOBAL_HEADER.size
+        while pos < end:
+            fileobj.seek(pos)
+            header = fileobj.read(record_struct.size)
+            if len(header) < record_struct.size:
+                raise PcapError("truncated pcap record header")
+            _sec, _usec, incl_len, _orig = record_struct.unpack(header)
+            if pos + record_struct.size + incl_len > end:
+                raise PcapError("truncated pcap record body")
+            offsets.append(pos)
+            pos += record_struct.size + incl_len
+    return offsets
 
 
 def record_sort_key(record: PcapRecord) -> tuple:

@@ -28,8 +28,10 @@ from repro.obs.sinks import (
     DEFAULT_ALWAYS_KEEP,
     RingBufferTracer,
     SamplingTracer,
+    install_signal_dump,
 )
 from repro.obs.trace import (
+    CAT_CAPSTORE,
     CAT_CONNECTIVITY,
     CAT_LB,
     CAT_NET,
@@ -55,6 +57,7 @@ __all__ = [
     "JsonlTracer",
     "SamplingTracer",
     "RingBufferTracer",
+    "install_signal_dump",
     "DEFAULT_ALWAYS_KEEP",
     "NULL_TRACER",
     "read_trace",
@@ -67,6 +70,7 @@ __all__ = [
     "Histogram",
     "MetricsRegistry",
     "load_snapshot",
+    "CAT_CAPSTORE",
     "CAT_CONNECTIVITY",
     "CAT_LB",
     "CAT_NET",

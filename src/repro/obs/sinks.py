@@ -210,3 +210,30 @@ class RingBufferTracer(Tracer):
     def close(self) -> None:
         if self.dump_path is not None:
             self.dump(self.dump_path)
+
+
+def install_signal_dump(tracer: RingBufferTracer, signum: Optional[int] = None) -> bool:
+    """Dump ``tracer``'s ring to its ``dump_path`` when a signal arrives.
+
+    Long runs in flight-recorder mode are otherwise opaque until they
+    exit; ``kill -USR1 <pid>`` snapshots the retained window mid-run
+    without stopping anything.  Defaults to ``SIGUSR1``.  Returns False —
+    a documented no-op — on platforms without the signal (Windows) or
+    when called off the main thread, where handlers cannot be installed.
+    """
+    import signal as _signal
+
+    if signum is None:
+        signum = getattr(_signal, "SIGUSR1", None)
+        if signum is None:
+            return False
+
+    def _dump_on_signal(_signo, _frame) -> None:
+        if tracer.dump_path is not None:
+            tracer.dump(tracer.dump_path)
+
+    try:
+        _signal.signal(signum, _dump_on_signal)
+    except ValueError:  # not the main thread
+        return False
+    return True

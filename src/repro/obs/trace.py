@@ -38,6 +38,7 @@ CAT_SIM = "sim"  # event-loop lifecycle
 CAT_TELESCOPE = "telescope"  # darknet capture
 CAT_SANITIZE = "sanitize"  # classification pipeline decisions
 CAT_WORKLOAD = "workload"  # traffic generators (attacks, scans, noise)
+CAT_CAPSTORE = "capstore"  # columnar index build/load and cache decisions
 
 
 class Tracer:

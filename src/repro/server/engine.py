@@ -81,6 +81,25 @@ CERT_MAGIC = b"CRT1"
 DATAGRAM_LENGTH_BOUNDS = (200, 600, 1000, 1052, 1200, 1232, 1242, 1252, 1300, 1500)
 
 
+def datagram_length_bounds(expected_events: Optional[int] = None) -> tuple:
+    """``transport.datagram_bytes`` buckets, densified with scenario scale.
+
+    The static set keeps one bucket per characteristic size — fine for
+    default runs, but at 10^6+ events each bucket holds so many samples
+    that the shape between the characteristic sizes disappears.  The
+    scale hint (the event loop's ``expected_events``, derived from the
+    full scenario config so all shard workers agree) adds a 100-byte grid
+    at 10^6+ and a 50-byte grid at 10^8+, always keeping the exact
+    characteristic sizes as bounds.
+    """
+    if not expected_events or expected_events < 1_000_000:
+        return DATAGRAM_LENGTH_BOUNDS
+    bounds = set(DATAGRAM_LENGTH_BOUNDS)
+    step = 50 if expected_events >= 100_000_000 else 100
+    bounds.update(range(step, 1551, step))
+    return tuple(sorted(bounds))
+
+
 class ConnState(enum.Enum):
     AWAIT_CLIENT = 1  # flight sent, waiting for client Handshake/ACK
     ESTABLISHED = 2
@@ -189,7 +208,9 @@ class QuicServerEngine:
                 "transport.flight_bytes", ("profile",)
             )
             self._m_datagram_bytes = obs.metrics.histogram(
-                "transport.datagram_bytes", DATAGRAM_LENGTH_BOUNDS, ("profile",)
+                "transport.datagram_bytes",
+                datagram_length_bounds(getattr(loop, "expected_events", None)),
+                ("profile",),
             )
         else:
             self._m_datagrams = None

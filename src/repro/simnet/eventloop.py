@@ -15,6 +15,32 @@ _SAMPLE_SHIFT = 10
 _QUEUE_DEPTH_BOUNDS = (1, 10, 100, 1_000, 10_000, 100_000, 1_000_000)
 
 
+def queue_depth_bounds(expected_events: Optional[int] = None) -> tuple:
+    """``sim.queue_depth`` histogram bounds sized to the scenario scale.
+
+    Without a scale hint the static decade ladder up to 10^6 applies.
+    With one, the ladder gains half-decade steps (1, 3, 10, 30, …) and
+    extends past 10^6 when the expected event volume demands it — at
+    10^7+ events a top bucket of "everything above 10^6" would swallow
+    the entire distribution.  The hint must be derived from the *full*
+    scenario config (never a shard's slice) so every worker in a sharded
+    run registers identical bounds, which snapshot merging requires.
+    """
+    if not expected_events or expected_events <= 0:
+        return _QUEUE_DEPTH_BOUNDS
+    top = 1_000_000
+    while top < expected_events:
+        top *= 10
+    bounds = []
+    decade = 1
+    while decade <= top:
+        bounds.append(decade)
+        if decade * 3 <= top:
+            bounds.append(decade * 3)
+        decade *= 10
+    return tuple(bounds)
+
+
 class Event:
     """Handle for a scheduled callback; cancellable until it fires."""
 
@@ -47,6 +73,7 @@ class EventLoop:
         self,
         obs: Observability | None = None,
         queue_depth_sample_shift: int = _SAMPLE_SHIFT,
+        expected_events: Optional[int] = None,
     ) -> None:
         if queue_depth_sample_shift < 0:
             raise ValueError(
@@ -60,6 +87,10 @@ class EventLoop:
         self.obs = obs or NULL_OBS
         #: ``sim.queue_depth`` is observed every 2**shift processed events.
         self.queue_depth_sample_shift = queue_depth_sample_shift
+        #: Scale hint (expected event volume of the full scenario); sizes
+        #: the ``sim.queue_depth`` and ``transport.datagram_bytes``
+        #: histogram buckets.  None keeps the static defaults.
+        self.expected_events = expected_events
         #: Non-periodic events currently in the heap (periodic ticks re-arm
         #: only while this is non-zero, so ``run()`` still drains).
         self._live_normal = 0
@@ -160,7 +191,9 @@ class EventLoop:
         tracer = obs.tracer
         metrics = obs.metrics
         depth_hist = (
-            metrics.histogram("sim.queue_depth", _QUEUE_DEPTH_BOUNDS)
+            metrics.histogram(
+                "sim.queue_depth", queue_depth_bounds(self.expected_events)
+            )
             if metrics is not None
             else None
         )

@@ -14,6 +14,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
+from typing import Iterable
 
 from repro.core.dissector import DissectError, dissect_datagram
 from repro.inetdata.asdb import AsDatabase
@@ -92,14 +93,121 @@ class ClassifiedCapture:
         return len(self.backscatter) + len(self.scans)
 
 
+#: Drop reasons in pipeline order.  Each name doubles as the matching
+#: :class:`SanitizationStats` field and the ``sanitize.packets`` counter
+#: stage label, which is what lets the columnar cache rebuild the counter
+#: values from stored stats without replaying the pipeline.
+DROP_REASONS = (
+    "non_udp",
+    "non_port_443",
+    "failed_dissection",
+    "acknowledged_scanner",
+)
+
+
+class SanitizeEmitter:
+    """Shared obs emission for both sanitization paths.
+
+    :func:`classify_capture` (object path) and the columnar builder in
+    ``repro.capstore`` make identical per-record decisions; routing their
+    counter increments and ``sanitize:drop`` trace events through one
+    emitter keeps the observable surface identical too.
+    """
+
+    def __init__(self, obs: Observability | None) -> None:
+        obs = obs or NULL_OBS
+        self._tracer = obs.tracer
+        self._counter = (
+            obs.metrics.counter("sanitize.packets", ("stage",))
+            if obs.metrics is not None
+            else None
+        )
+
+    def drop(self, record: PcapRecord, reason: str) -> None:
+        if self._counter is not None:
+            self._counter.inc_key((reason,))
+        if self._tracer.enabled:
+            self._tracer.emit(
+                CAT_SANITIZE,
+                "drop",
+                time=record.timestamp,
+                reason=reason,
+                bytes=len(record.data),
+            )
+
+    def kept(self, klass: PacketClass) -> None:
+        if self._counter is not None:
+            label = (
+                "kept_backscatter"
+                if klass is PacketClass.BACKSCATTER
+                else "kept_scan"
+            )
+            self._counter.inc_key((label,))
+
+
+def classify_record(
+    record: PcapRecord,
+    asdb: AsDatabase | None = None,
+    acknowledged: AcknowledgedScanners | None = None,
+    validate_crypto_scans: bool = True,
+) -> tuple[CapturedPacket | None, str | None]:
+    """Classify a single capture record.
+
+    Returns ``(captured, None)`` for kept records and ``(None, reason)``
+    for dropped ones, with ``reason`` one of :data:`DROP_REASONS`.  The
+    pipeline is stateless per record, which is what makes row-group
+    parallel index builds exactly equivalent to a serial pass.
+    """
+    try:
+        datagram = decode_udp(record.data)
+    except (UdpParseError, ValueError):
+        return None, "non_udp"
+    if datagram.src_port == QUIC_PORT:
+        klass = PacketClass.BACKSCATTER
+    elif datagram.dst_port == QUIC_PORT:
+        klass = PacketClass.SCAN
+    else:
+        return None, "non_port_443"
+    try:
+        dissected = dissect_datagram(
+            datagram.payload,
+            validate_crypto=(validate_crypto_scans and klass is PacketClass.SCAN),
+        )
+    except DissectError:
+        return None, "failed_dissection"
+    if (
+        klass is PacketClass.SCAN
+        and acknowledged is not None
+        and acknowledged.is_acknowledged(datagram.src_ip)
+    ):
+        return None, "acknowledged_scanner"
+    return (
+        CapturedPacket(
+            timestamp=record.timestamp,
+            src_ip=datagram.src_ip,
+            dst_ip=datagram.dst_ip,
+            src_port=datagram.src_port,
+            dst_port=datagram.dst_port,
+            udp_payload_length=len(datagram.payload),
+            packets=dissected.packets,
+            klass=klass,
+            origin=asdb.origin_name(datagram.src_ip) if asdb else "Remaining",
+        ),
+        None,
+    )
+
+
 def classify_capture(
-    records: list[PcapRecord],
+    records: Iterable[PcapRecord],
     asdb: AsDatabase | None = None,
     acknowledged: AcknowledgedScanners | None = None,
     validate_crypto_scans: bool = True,
     obs: Observability | None = None,
 ) -> ClassifiedCapture:
     """Run the full sanitization pipeline over raw capture records.
+
+    ``records`` may be any iterable, including the streaming
+    :func:`repro.netstack.pcap.iter_pcap` generator.
 
     ``validate_crypto_scans`` additionally AEAD-validates client Initials in
     scan traffic (possible passively because Initial keys derive from the
@@ -110,82 +218,26 @@ def classify_capture(
     drop-stage label; kept records count under ``kept_backscatter`` /
     ``kept_scan``.
     """
-    obs = obs or NULL_OBS
-    tracer = obs.tracer
-    m_packets = (
-        obs.metrics.counter("sanitize.packets", ("stage",))
-        if obs.metrics is not None
-        else None
-    )
-
-    def drop(record: PcapRecord, reason: str) -> None:
-        if m_packets is not None:
-            m_packets.inc_key((reason,))
-        if tracer.enabled:
-            tracer.emit(
-                CAT_SANITIZE,
-                "drop",
-                time=record.timestamp,
-                reason=reason,
-                bytes=len(record.data),
-            )
-
+    emitter = SanitizeEmitter(obs)
     out = ClassifiedCapture()
     stats = out.stats
     for record in records:
         stats.total_records += 1
-        try:
-            datagram = decode_udp(record.data)
-        except (UdpParseError, ValueError):
-            stats.non_udp += 1
-            drop(record, "non_udp")
-            continue
-        if datagram.src_port == QUIC_PORT:
-            klass = PacketClass.BACKSCATTER
-        elif datagram.dst_port == QUIC_PORT:
-            klass = PacketClass.SCAN
-        else:
-            stats.non_port_443 += 1
-            drop(record, "non_port_443")
-            continue
-        try:
-            dissected = dissect_datagram(
-                datagram.payload,
-                validate_crypto=(
-                    validate_crypto_scans and klass is PacketClass.SCAN
-                ),
-            )
-        except DissectError:
-            stats.failed_dissection += 1
-            drop(record, "failed_dissection")
-            continue
-        if (
-            klass is PacketClass.SCAN
-            and acknowledged is not None
-            and acknowledged.is_acknowledged(datagram.src_ip)
-        ):
-            stats.acknowledged_scanner += 1
-            drop(record, "acknowledged_scanner")
-            continue
-        captured = CapturedPacket(
-            timestamp=record.timestamp,
-            src_ip=datagram.src_ip,
-            dst_ip=datagram.dst_ip,
-            src_port=datagram.src_port,
-            dst_port=datagram.dst_port,
-            udp_payload_length=len(datagram.payload),
-            packets=dissected.packets,
-            klass=klass,
-            origin=asdb.origin_name(datagram.src_ip) if asdb else "Remaining",
+        captured, reason = classify_record(
+            record,
+            asdb=asdb,
+            acknowledged=acknowledged,
+            validate_crypto_scans=validate_crypto_scans,
         )
-        if klass is PacketClass.BACKSCATTER:
+        if captured is None:
+            setattr(stats, reason, getattr(stats, reason) + 1)
+            emitter.drop(record, reason)
+            continue
+        if captured.klass is PacketClass.BACKSCATTER:
             out.backscatter.append(captured)
             stats.backscatter += 1
-            if m_packets is not None:
-                m_packets.inc_key(("kept_backscatter",))
         else:
             out.scans.append(captured)
             stats.scans += 1
-            if m_packets is not None:
-                m_packets.inc_key(("kept_scan",))
+        emitter.kept(captured.klass)
     return out

@@ -425,7 +425,16 @@ def build_scenario(
     config = config or ScenarioConfig()
     obs = obs or NULL_OBS
     rng = random.Random(config.seed)
-    loop = EventLoop(obs, queue_depth_sample_shift=config.queue_depth_sample_shift)
+    # Scale hint for histogram-bucket derivation.  Always computed from
+    # the FULL config (unit weights approximate event cost), never from a
+    # shard's ``units`` slice: shard workers must register identical
+    # bucket bounds or the parent's snapshot merge would reject them.
+    expected_events = sum(unit.weight for unit in plan_traffic_units(config))
+    loop = EventLoop(
+        obs,
+        queue_depth_sample_shift=config.queue_depth_sample_shift,
+        expected_events=expected_events,
+    )
     network = Network(loop, random.Random(config.seed ^ 0xBEEF), PathModel(), obs=obs)
     telescope = Telescope(prefix=config.telescope_prefix, obs=obs)
     network.add_device(telescope)

@@ -1,0 +1,30 @@
+"""Fixtures for the columnar capture store tests.
+
+One small simulated month is built once per session and shared
+read-only; tests that write a sidecar next to the pcap (or rewrite the
+pcap itself) take a private copy first so cache state never leaks
+between tests.
+"""
+
+import shutil
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture(scope="session")
+def month_pcap(tmp_path_factory):
+    """A small simulated telescope month (no sidecar next to it)."""
+    root = tmp_path_factory.mktemp("capstore")
+    path = str(root / "month.pcap")
+    assert main(["simulate", path, "--scale", "0.05", "--seed", "42"]) == 0
+    return path
+
+
+@pytest.fixture
+def pcap_copy(month_pcap, tmp_path):
+    """A private copy of the month pcap, safe to cache against or rewrite."""
+    dest = tmp_path / "month.pcap"
+    shutil.copy(month_pcap, dest)
+    return str(dest)

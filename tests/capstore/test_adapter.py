@@ -1,0 +1,85 @@
+"""Adapter-view equivalence: every analyze table renders byte-identically
+whether it consumes the legacy object pipeline or the columnar store."""
+
+import pytest
+
+from repro.capstore import (
+    CapturedRowView,
+    default_acknowledged,
+    default_asdb,
+    load_or_build,
+)
+from repro.cli import VALID_TABLES, render_analysis
+from repro.netstack.pcap import read_pcap
+from repro.telescope.classify import classify_capture
+
+ALL_TABLES = set(VALID_TABLES)
+
+
+@pytest.fixture(scope="module")
+def legacy(month_pcap):
+    return classify_capture(
+        read_pcap(month_pcap),
+        asdb=default_asdb(),
+        acknowledged=default_acknowledged(),
+    )
+
+
+@pytest.fixture(scope="module")
+def columnar(month_pcap):
+    view, _hit = load_or_build(month_pcap, use_cache=False)
+    return view
+
+
+class TestRenderEquivalence:
+    @pytest.mark.parametrize("table", sorted(ALL_TABLES))
+    def test_each_table_renders_identically(self, legacy, columnar, table):
+        assert render_analysis(columnar, {table}) == render_analysis(
+            legacy, {table}
+        )
+
+    def test_all_tables_at_once(self, legacy, columnar):
+        assert render_analysis(columnar, ALL_TABLES) == render_analysis(
+            legacy, ALL_TABLES
+        )
+
+    def test_parallel_build_renders_identically(self, month_pcap, legacy):
+        view, _hit = load_or_build(month_pcap, workers=4, use_cache=False)
+        assert render_analysis(view, ALL_TABLES) == render_analysis(
+            legacy, ALL_TABLES
+        )
+
+
+class TestRowView:
+    def test_views_mirror_captured_packets(self, legacy, columnar):
+        views = columnar.backscatter + columnar.scans
+        packets = legacy.backscatter + legacy.scans
+        assert len(views) == len(packets)
+        by_key = {
+            (p.timestamp, p.src_ip, p.dst_ip, p.src_port): p for p in packets
+        }
+        sample = views[:: max(1, len(views) // 40)]
+        for view in sample:
+            assert isinstance(view, CapturedRowView)
+            packet = by_key[
+                (view.timestamp, view.src_ip, view.dst_ip, view.src_port)
+            ]
+            assert view.to_packet() == packet
+            assert view.klass is packet.klass
+            assert view.origin == packet.origin
+            assert view.coalesced == packet.coalesced
+            assert view.remote_ip == packet.remote_ip
+            assert list(view.packets) == list(packet.packets)
+
+    def test_packets_property_is_cached(self, columnar):
+        view = (columnar.backscatter + columnar.scans)[0]
+        assert view.packets is view.packets
+
+    def test_to_classified_capture_materializes_everything(self, legacy, columnar):
+        capture = columnar.to_classified_capture()
+        assert capture.backscatter == legacy.backscatter
+        assert capture.scans == legacy.scans
+        assert capture.stats == legacy.stats
+
+    def test_len_matches_legacy(self, legacy, columnar):
+        assert len(columnar) == len(legacy.backscatter) + len(legacy.scans)

@@ -1,0 +1,137 @@
+"""Sidecar cache lifecycle: hit, touch, rewrite, corruption, escape hatch."""
+
+import os
+
+import pytest
+
+from repro.capstore import (
+    fingerprint_matches,
+    load_or_build,
+    pcap_fingerprint,
+    sidecar_path,
+)
+from repro.cli import main
+from repro.obs import Observability
+from repro.obs.metrics import MetricsRegistry
+
+
+def _obs():
+    return Observability(metrics=MetricsRegistry())
+
+
+class TestLoadOrBuild:
+    def test_miss_then_hit_round_trip(self, pcap_copy):
+        view, hit = load_or_build(pcap_copy)
+        assert not hit
+        assert os.path.exists(sidecar_path(pcap_copy))
+        again, hit = load_or_build(pcap_copy)
+        assert hit
+        assert again.table == view.table
+        assert again.stats == view.stats
+
+    def test_no_cache_never_writes_or_reads(self, pcap_copy):
+        view, hit = load_or_build(pcap_copy, use_cache=False)
+        assert not hit
+        assert not os.path.exists(sidecar_path(pcap_copy))
+        # even with a valid sidecar on disk, --no-cache rebuilds
+        load_or_build(pcap_copy)
+        _view, hit = load_or_build(pcap_copy, use_cache=False)
+        assert not hit
+
+    def test_touched_mtime_still_hits_via_content_hash(self, pcap_copy):
+        load_or_build(pcap_copy)
+        stat = os.stat(pcap_copy)
+        os.utime(pcap_copy, ns=(stat.st_atime_ns, stat.st_mtime_ns + 10**9))
+        _view, hit = load_or_build(pcap_copy)
+        assert hit
+
+    def test_rewritten_pcap_invalidates(self, pcap_copy):
+        view, _ = load_or_build(pcap_copy)
+        assert main(["simulate", pcap_copy, "--scale", "0.05", "--seed", "7"]) == 0
+        rebuilt, hit = load_or_build(pcap_copy)
+        assert not hit
+        assert rebuilt.table != view.table
+        # and the refreshed sidecar now validates against the new pcap
+        _again, hit = load_or_build(pcap_copy)
+        assert hit
+
+    def test_corrupt_sidecar_treated_as_stale(self, pcap_copy):
+        view, _ = load_or_build(pcap_copy)
+        with open(sidecar_path(pcap_copy), "r+b") as fileobj:
+            fileobj.seek(-1, os.SEEK_END)
+            fileobj.write(b"\x00")
+        rebuilt, hit = load_or_build(pcap_copy)
+        assert not hit
+        assert rebuilt.table == view.table
+
+    def test_pipeline_mismatch_misses(self, pcap_copy):
+        load_or_build(pcap_copy)
+        _view, hit = load_or_build(pcap_copy, validate_crypto_scans=False)
+        assert not hit
+
+    def test_parallel_build_hits_same_cache(self, pcap_copy):
+        serial_view, _ = load_or_build(pcap_copy, workers=1)
+        _view, hit = load_or_build(pcap_copy, workers=4)
+        assert hit  # workers only matter on a miss
+        os.unlink(sidecar_path(pcap_copy))
+        parallel_view, hit = load_or_build(pcap_copy, workers=4)
+        assert not hit
+        assert parallel_view.table == serial_view.table
+
+
+class TestObservability:
+    def test_cold_run_counts_miss_and_build_timer(self, pcap_copy):
+        obs = _obs()
+        load_or_build(pcap_copy, obs=obs)
+        snapshot = obs.metrics.snapshot()
+        assert snapshot["counters"]["capstore.cache"]["values"] == {"miss": 1}
+        assert "index.build" in snapshot["timers"]
+        assert "index.load" not in snapshot["timers"]
+
+    def test_warm_run_counts_hit_and_load_timer(self, pcap_copy):
+        load_or_build(pcap_copy)
+        obs = _obs()
+        view, hit = load_or_build(pcap_copy, obs=obs)
+        assert hit
+        snapshot = obs.metrics.snapshot()
+        assert snapshot["counters"]["capstore.cache"]["values"] == {"hit": 1}
+        assert "index.load" in snapshot["timers"]
+        rows = snapshot["counters"]["capstore.rows"]["values"]
+        assert rows["backscatter"] == view.stats.backscatter
+        assert rows["scan"] == view.stats.scans
+
+    def test_stale_run_counts_stale_then_miss(self, pcap_copy):
+        load_or_build(pcap_copy)
+        assert main(["simulate", pcap_copy, "--scale", "0.05", "--seed", "7"]) == 0
+        obs = _obs()
+        _view, hit = load_or_build(pcap_copy, obs=obs)
+        assert not hit
+        values = obs.metrics.snapshot()["counters"]["capstore.cache"]["values"]
+        assert values == {"stale": 1, "miss": 1}
+
+    def test_cache_hit_reemits_sanitize_counters(self, pcap_copy):
+        cold_obs = _obs()
+        load_or_build(pcap_copy, obs=cold_obs)
+        warm_obs = _obs()
+        _view, hit = load_or_build(pcap_copy, obs=warm_obs)
+        assert hit
+        cold = cold_obs.metrics.snapshot()["counters"]["sanitize.packets"]["values"]
+        warm = warm_obs.metrics.snapshot()["counters"]["sanitize.packets"]["values"]
+        assert warm == cold
+
+
+class TestFingerprint:
+    def test_fingerprint_fields(self, month_pcap):
+        fingerprint = pcap_fingerprint(month_pcap)
+        assert fingerprint["size"] == os.path.getsize(month_pcap)
+        assert set(fingerprint) == {"size", "mtime_ns", "blake2b"}
+        assert fingerprint_matches(fingerprint, month_pcap)
+
+    def test_size_change_is_cheapest_rejection(self, pcap_copy):
+        stored = pcap_fingerprint(pcap_copy)
+        with open(pcap_copy, "ab") as fileobj:
+            fileobj.write(b"\x00")
+        assert not fingerprint_matches(stored, pcap_copy)
+
+    def test_empty_fingerprint_never_matches(self, month_pcap):
+        assert not fingerprint_matches({}, month_pcap)

@@ -162,3 +162,68 @@ class TestRingBufferTracer:
     def test_rejects_bad_capacity(self):
         with pytest.raises(ValueError):
             RingBufferTracer(capacity=0)
+
+
+class TestSignalDump:
+    """SIGUSR1 snapshots the ring mid-run without stopping anything."""
+
+    @pytest.fixture(autouse=True)
+    def _restore_handler(self):
+        signal = pytest.importorskip("signal")
+        if not hasattr(signal, "SIGUSR1"):
+            pytest.skip("platform without SIGUSR1")
+        previous = signal.getsignal(signal.SIGUSR1)
+        yield
+        signal.signal(signal.SIGUSR1, previous)
+
+    def test_signal_dumps_retained_window(self, tmp_path):
+        import os
+        import signal
+
+        from repro.obs import install_signal_dump
+
+        path = str(tmp_path / "ring.jsonl")
+        tracer = RingBufferTracer(capacity=4, dump_path=path)
+        assert install_signal_dump(tracer) is True
+        for i in range(6):
+            tracer.emit("net", "packet_delivered", time=float(i), seq=i)
+        os.kill(os.getpid(), signal.SIGUSR1)
+        events = list(read_trace(path))
+        assert [e["data"]["seq"] for e in events] == [2, 3, 4, 5]
+        # the run keeps going: later events land in the next dump
+        tracer.emit("net", "packet_delivered", time=6.0, seq=6)
+        os.kill(os.getpid(), signal.SIGUSR1)
+        assert [e["data"]["seq"] for e in read_trace(path)] == [3, 4, 5, 6]
+
+    def test_no_dump_path_is_a_noop(self, tmp_path):
+        import os
+        import signal
+
+        from repro.obs import install_signal_dump
+
+        tracer = RingBufferTracer(capacity=4)
+        assert install_signal_dump(tracer) is True
+        tracer.emit("net", "packet_delivered", time=0.0, seq=0)
+        os.kill(os.getpid(), signal.SIGUSR1)  # must not raise
+        assert list(tmp_path.iterdir()) == []
+
+    def test_platform_without_sigusr1_reports_false(self, monkeypatch):
+        from repro.obs import install_signal_dump
+
+        monkeypatch.delattr("signal.SIGUSR1")
+        tracer = RingBufferTracer(capacity=4)
+        assert install_signal_dump(tracer) is False
+
+    def test_off_main_thread_reports_false(self):
+        import threading
+
+        from repro.obs import install_signal_dump
+
+        tracer = RingBufferTracer(capacity=4)
+        results = []
+        thread = threading.Thread(
+            target=lambda: results.append(install_signal_dump(tracer))
+        )
+        thread.start()
+        thread.join()
+        assert results == [False]

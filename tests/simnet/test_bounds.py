@@ -1,0 +1,76 @@
+"""Scale-derived histogram bounds for queue depth and datagram sizes.
+
+Bounds must be a pure function of the *full* scenario config so every
+shard worker registers identical buckets — the parent's snapshot merge
+rejects mismatched bounds.
+"""
+
+from repro.server.engine import DATAGRAM_LENGTH_BOUNDS, datagram_length_bounds
+from repro.simnet.eventloop import _QUEUE_DEPTH_BOUNDS, EventLoop, queue_depth_bounds
+from repro.workloads.scenario import (
+    ScenarioConfig,
+    build_scenario,
+    plan_traffic_units,
+)
+
+
+class TestQueueDepthBounds:
+    def test_no_hint_keeps_static_ladder(self):
+        assert queue_depth_bounds(None) == _QUEUE_DEPTH_BOUNDS
+        assert queue_depth_bounds(0) == _QUEUE_DEPTH_BOUNDS
+
+    def test_small_scale_densifies_with_half_decades(self):
+        bounds = queue_depth_bounds(1000)
+        assert 3 in bounds and 30 in bounds
+        assert bounds == tuple(sorted(bounds))
+        assert len(bounds) == len(set(bounds))
+
+    def test_top_bucket_grows_past_expected_volume(self):
+        bounds = queue_depth_bounds(50_000_000)
+        assert bounds[-1] >= 50_000_000
+        assert queue_depth_bounds(10**7)[-1] >= 10**7
+
+    def test_static_ladder_tops_out_at_a_million(self):
+        assert _QUEUE_DEPTH_BOUNDS[-1] == 1_000_000
+        assert queue_depth_bounds(500)[-1] <= 1_000_000
+
+    def test_bounds_are_deterministic(self):
+        assert queue_depth_bounds(12345) == queue_depth_bounds(12345)
+
+
+class TestDatagramLengthBounds:
+    def test_below_threshold_keeps_characteristic_sizes(self):
+        assert datagram_length_bounds(None) == DATAGRAM_LENGTH_BOUNDS
+        assert datagram_length_bounds(999_999) == DATAGRAM_LENGTH_BOUNDS
+
+    def test_million_events_adds_hundred_byte_grid(self):
+        bounds = datagram_length_bounds(1_000_000)
+        assert set(DATAGRAM_LENGTH_BOUNDS) <= set(bounds)
+        assert {100, 700, 1400} <= set(bounds)
+        assert 50 not in bounds
+        assert bounds == tuple(sorted(bounds))
+
+    def test_hundred_million_events_halves_the_grid(self):
+        bounds = datagram_length_bounds(100_000_000)
+        assert {50, 150, 1550} <= set(bounds)
+        assert set(datagram_length_bounds(1_000_000)) <= set(bounds)
+
+
+class TestScenarioWiring:
+    def test_loop_hint_derives_from_full_config(self):
+        config = ScenarioConfig(seed=1).scaled(0.02)
+        scenario = build_scenario(config)
+        expected = sum(unit.weight for unit in plan_traffic_units(config))
+        assert scenario.loop.expected_events == expected
+        assert expected > 0
+
+    def test_hint_identical_across_shard_slices(self):
+        """Shard workers get unit slices but must share one bounds hint."""
+        config = ScenarioConfig(seed=1).scaled(0.02)
+        full_hint = build_scenario(config).loop.expected_events
+        units = plan_traffic_units(config)
+        sliced = build_scenario(config, units=units[: len(units) // 2])
+        assert sliced.loop.expected_events == full_hint
+
+    def test_default_loop_has_no_hint(self):
+        assert EventLoop().expected_events is None
