@@ -10,9 +10,13 @@ both pumps and asserts:
   per type) and ``RingBufferTracer`` (last 64k events, no serialization) —
   cost <10%, cheap enough to leave on at scale 1.0.
 
-A live-``JsonlTracer`` arm quantifies what full tracing still costs.
-Results land in ``BENCH_obs.json`` at the repo root (pkts/sec simulated,
-overhead ratios) as the perf baseline for later PRs.
+A live-``JsonlTracer`` arm quantifies what full tracing still costs, and
+an ``obs_prof`` arm measures the opt-in sampling profiler (``--profile``;
+recorded, not gated — it is never on by default).  Every arm must process
+the exact seed event count: observability may cost time but can never
+change the simulation.  Results land in ``BENCH_obs.json`` at the repo
+root (pkts/sec simulated, overhead ratios) as the perf baseline for
+later PRs.
 
 Run under pytest (``pytest benchmarks/bench_obs_overhead.py``) or as a
 script — ``python benchmarks/bench_obs_overhead.py --check`` re-measures
@@ -30,6 +34,7 @@ from repro.obs import (
     JsonlTracer,
     MetricsRegistry,
     Observability,
+    Profiler,
     RingBufferTracer,
     SamplingTracer,
 )
@@ -103,6 +108,13 @@ def _ring_obs():
     )
 
 
+def _prof_obs():
+    metrics = MetricsRegistry()
+    return Observability(
+        metrics=metrics, prof=Profiler(SAMPLE_EVERY, metrics=metrics)
+    )
+
+
 #: Bench arms in measurement order: key -> (pump_via_run, obs factory).
 ARMS = {
     "seed_pump": (False, None),
@@ -110,6 +122,7 @@ ARMS = {
     "obs_traced": (True, _traced_obs),
     "obs_sampled": (True, _sampled_obs),
     "obs_ring": (True, _ring_obs),
+    "obs_prof": (True, _prof_obs),
 }
 
 
@@ -140,6 +153,7 @@ def run_bench():
         "overhead_traced": overhead("obs_traced"),
         "overhead_sampled": overhead("obs_sampled"),
         "overhead_ring": overhead("obs_ring"),
+        "overhead_prof": overhead("obs_prof"),
         "sample_every": SAMPLE_EVERY,
         "ring_capacity": RING_CAPACITY,
         "threshold": MAX_OVERHEAD,
@@ -164,6 +178,7 @@ def _render(results):
         ("obs traced", "obs_traced", "overhead_traced"),
         ("obs sampled", "obs_sampled", "overhead_sampled"),
         ("obs ring", "obs_ring", "overhead_ring"),
+        ("obs prof", "obs_prof", "overhead_prof"),
     ):
         arm = results[arm_key]
         suffix = (
@@ -179,7 +194,13 @@ def _render(results):
 def _check(results):
     """Threshold violations as human-readable strings (empty = pass)."""
     failures = []
-    for arm_key in ("obs_disabled", "obs_traced", "obs_sampled", "obs_ring"):
+    for arm_key in (
+        "obs_disabled",
+        "obs_traced",
+        "obs_sampled",
+        "obs_ring",
+        "obs_prof",
+    ):
         if results[arm_key]["events"] != results["seed_pump"]["events"]:
             failures.append("%s changed the simulation (event count)" % arm_key)
     if results["overhead_disabled"] >= MAX_OVERHEAD:

@@ -38,6 +38,7 @@ from repro.netstack.pcap import (
     scan_pcap_offsets,
 )
 from repro.obs import NULL_OBS, Observability
+from repro.obs.progress import HeartbeatWriter
 from repro.capstore.table import CaptureTable
 from repro.telescope.acknowledged import AcknowledgedScanners
 from repro.telescope.classify import (
@@ -76,6 +77,7 @@ def build_from_records(
     validate_crypto_scans: bool = True,
     obs: Optional[Observability] = None,
     kept_flags: Optional[bytearray] = None,
+    progress: Optional[Callable[[int], None]] = None,
 ) -> Tuple[CaptureTable, SanitizationStats]:
     """One streaming dissection pass: records in, columnar table out.
 
@@ -83,19 +85,35 @@ def build_from_records(
     trace events as :func:`~repro.telescope.classify.classify_capture`.
     ``kept_flags``, if given, receives one byte per input record (1 =
     kept as a row) — the alignment data :func:`build_from_shards` needs
-    to interleave rows during its record-stream merge.
+    to interleave rows during its record-stream merge.  ``progress`` is
+    called with the running record count every ~2048 records (heartbeat
+    writers hook in here); with a profiler attached, each dissection is
+    an ``index.record`` leaf stage.
     """
     emitter = SanitizeEmitter(obs)
+    prof = obs.prof if obs is not None else None
     table = CaptureTable()
     stats = SanitizationStats()
     for record in records:
         stats.total_records += 1
-        captured, reason = classify_record(
-            record,
-            asdb=asdb,
-            acknowledged=acknowledged,
-            validate_crypto_scans=validate_crypto_scans,
-        )
+        if progress is not None and not stats.total_records & 2047:
+            progress(stats.total_records)
+        if prof is None:
+            captured, reason = classify_record(
+                record,
+                asdb=asdb,
+                acknowledged=acknowledged,
+                validate_crypto_scans=validate_crypto_scans,
+            )
+        else:
+            node, start = prof.leaf_begin("index.record")
+            captured, reason = classify_record(
+                record,
+                asdb=asdb,
+                acknowledged=acknowledged,
+                validate_crypto_scans=validate_crypto_scans,
+            )
+            prof.leaf_end(node, start, packets=1)
         if captured is None:
             setattr(stats, reason, getattr(stats, reason) + 1)
             emitter.drop(record, reason)
@@ -155,7 +173,12 @@ def _pool_context() -> multiprocessing.context.BaseContext:
 
 
 def _worker_build(payload: tuple):
-    """Pool target: dissect one row group of one pcap into a partial table."""
+    """Pool target: dissect one row group of one pcap into a partial table.
+
+    With a ``progress_dir`` in the payload, the worker heartbeats its
+    dissection progress there (stage ``index``) exactly like simulate's
+    shard workers, so ``repro progress`` covers index builds too.
+    """
     (
         path,
         offset,
@@ -164,15 +187,38 @@ def _worker_build(payload: tuple):
         asdb_factory,
         ack_factory,
         want_flags,
+        progress_dir,
+        group_index,
     ) = payload
     kept_flags = bytearray() if want_flags else None
-    table, stats = build_from_records(
-        iter_pcap_range(path, offset, count),
-        asdb=asdb_factory() if asdb_factory else None,
-        acknowledged=ack_factory() if ack_factory else None,
-        validate_crypto_scans=validate_crypto_scans,
-        kept_flags=kept_flags,
+    heartbeat = (
+        HeartbeatWriter(progress_dir, worker=group_index, total=count)
+        if progress_dir
+        else None
     )
+    progress = None
+    if heartbeat is not None:
+        progress = lambda done: heartbeat.update("index", done=done, records=done)
+        heartbeat.update("index")
+    try:
+        table, stats = build_from_records(
+            iter_pcap_range(path, offset, count),
+            asdb=asdb_factory() if asdb_factory else None,
+            acknowledged=ack_factory() if ack_factory else None,
+            validate_crypto_scans=validate_crypto_scans,
+            kept_flags=kept_flags,
+            progress=progress,
+        )
+        if heartbeat is not None:
+            heartbeat.update(
+                "done",
+                done=stats.total_records,
+                records=stats.total_records,
+                final=True,
+            )
+    finally:
+        if heartbeat is not None:
+            heartbeat.close()
     return table, stats, kept_flags
 
 
@@ -199,13 +245,15 @@ def build_capture_table(
     obs: Optional[Observability] = None,
     asdb_factory: Callable[[], AsDatabase] = default_asdb,
     ack_factory: Callable[[], AcknowledgedScanners] = default_acknowledged,
+    progress_dir: Optional[str] = None,
 ) -> Tuple[CaptureTable, SanitizationStats]:
     """Build the columnar table for one pcap, optionally in parallel.
 
     ``workers > 1`` splits the file into contiguous row groups and
     dissects them in a process pool; the concatenated result is exactly
     the serial table.  Factories must be module-level callables so they
-    pickle into workers by reference.
+    pickle into workers by reference.  ``progress_dir`` makes each
+    row-group worker write live heartbeats there.
     """
     obs = obs or NULL_OBS
     if workers <= 1:
@@ -228,8 +276,18 @@ def build_capture_table(
             ack_factory=ack_factory,
         )
     payloads = [
-        (pcap_path, offset, count, validate_crypto_scans, asdb_factory, ack_factory, False)
-        for offset, count in groups
+        (
+            pcap_path,
+            offset,
+            count,
+            validate_crypto_scans,
+            asdb_factory,
+            ack_factory,
+            False,
+            progress_dir,
+            group_index,
+        )
+        for group_index, (offset, count) in enumerate(groups)
     ]
     ctx = _pool_context()
     with ctx.Pool(processes=len(groups)) as pool:
@@ -248,6 +306,7 @@ def build_from_shards(
     obs: Optional[Observability] = None,
     asdb_factory: Callable[[], AsDatabase] = default_asdb,
     ack_factory: Callable[[], AcknowledgedScanners] = default_acknowledged,
+    progress_dir: Optional[str] = None,
 ) -> Tuple[CaptureTable, SanitizationStats]:
     """Index per-shard pcaps in parallel; equals indexing their merge.
 
@@ -260,7 +319,7 @@ def build_from_shards(
     """
     obs = obs or NULL_OBS
     payloads = []
-    for path in shard_paths:
+    for shard_index, path in enumerate(shard_paths):
         offsets = scan_pcap_offsets(path)
         payloads.append(
             (
@@ -271,6 +330,8 @@ def build_from_shards(
                 asdb_factory,
                 ack_factory,
                 True,
+                progress_dir,
+                shard_index,
             )
         )
     if len(payloads) == 1:

@@ -118,21 +118,22 @@ def load_or_build(
 
     if cache_counter is not None:
         cache_counter.inc_key(("miss",))
-    if metrics is not None:
-        with metrics.time_block("index.build"):
+    with obs.span("index.build", local=True, path=pcap_path, workers=workers):
+        if metrics is not None:
+            with metrics.time_block("index.build"):
+                table, stats = build_capture_table(
+                    pcap_path,
+                    workers=workers,
+                    validate_crypto_scans=validate_crypto_scans,
+                    obs=obs,
+                )
+        else:
             table, stats = build_capture_table(
                 pcap_path,
                 workers=workers,
                 validate_crypto_scans=validate_crypto_scans,
                 obs=obs,
             )
-    else:
-        table, stats = build_capture_table(
-            pcap_path,
-            workers=workers,
-            validate_crypto_scans=validate_crypto_scans,
-            obs=obs,
-        )
     payload = IndexPayload(table=table, stats=stats, source={}, pipeline=pipeline)
     _count_rows(payload, metrics)
     if tracer.enabled:
@@ -166,11 +167,12 @@ def _try_load(
     """Load + validate a sidecar; None on any mismatch or corruption."""
     metrics = obs.metrics
     try:
-        if metrics is not None:
-            with metrics.time_block("index.load"):
+        with obs.span("index.load", local=True, path=index_path):
+            if metrics is not None:
+                with metrics.time_block("index.load"):
+                    payload = load_index(index_path)
+            else:
                 payload = load_index(index_path)
-        else:
-            payload = load_index(index_path)
     except (CapIndexError, OSError):
         return None
     if payload.pipeline != pipeline:

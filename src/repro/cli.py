@@ -15,28 +15,37 @@ The commands cover the toolchain end to end:
 * ``stats``    — pretty-print a metrics snapshot written by ``--metrics``,
   or diff two snapshots (``--diff A.json B.json``);
 * ``trace``    — inspect JSONL traces (``trace summarize`` prints
-  per-category counts and top event names).
+  per-category counts and top event names; ``trace merge`` k-way-merges
+  per-worker span streams into one canonical timeline);
+* ``progress`` / ``top`` — render (or live-follow) the heartbeat files a
+  running sharded simulate/index writes next to its output.
 
 ``classify``/``analyze``/``index`` share the columnar analysis plane
 (``repro.capstore``): one streaming dissection pass — parallelizable with
 ``--workers N`` — builds a ``.capidx`` sidecar next to the pcap, and
 subsequent runs load columns straight from disk (``--no-cache`` opts out).
+``analyze``/``index`` also accept multiple pcaps (the per-worker shard
+files a ``simulate --workers N --no-merge`` run leaves behind) and stream
+them through ``build_from_shards`` without a merge step.
 
 ``simulate``/``classify``/``analyze``/``probe`` all accept ``--trace
 FILE.qlog.jsonl`` (structured event stream, one JSON object per line) and
 ``--metrics FILE.json`` (counter/gauge/histogram/timer snapshot), plus the
 cheap always-on sinks ``--trace-sample N`` (deterministic per-type
-sampling) and ``--trace-ring K`` (in-memory flight recorder).
-``simulate``/``probe`` additionally publish live Prometheus metrics via
-``--prom-file`` (textfile collector) and ``--prom-port`` (/metrics HTTP
-endpoint).
+sampling) and ``--trace-ring K`` (in-memory flight recorder), plus
+``--profile`` (hierarchical span profiler; ``--speedscope FILE`` exports
+a flamegraph).  ``simulate``/``probe`` additionally publish live
+Prometheus metrics via ``--prom-file`` (textfile collector) and
+``--prom-port`` (/metrics HTTP endpoint).
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
+import time as _wall
 
 from repro.capstore import (
     fingerprint_matches,
@@ -55,12 +64,23 @@ from repro.obs import (
     JsonlTracer,
     MetricsRegistry,
     Observability,
+    Profiler,
     PromFileWriter,
     RingBufferTracer,
     SamplingTracer,
     install_signal_dump,
     load_snapshot,
+    merge_span_timelines,
     start_http_exporter,
+)
+from repro.obs.progress import (
+    HeartbeatWriter,
+    aggregate,
+    clean_progress_dir,
+    expected_events,
+    read_heartbeats,
+    render_progress,
+    resolve_progress_dir,
 )
 from repro.obs.trace import read_trace
 from repro.workloads.scenario import (
@@ -113,6 +133,27 @@ def _add_obs_flags(parser: argparse.ArgumentParser) -> None:
         "--metrics",
         metavar="FILE",
         help="write a metrics snapshot (counters/histograms/timers) to FILE",
+    )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="attribute wall time per pipeline stage with the deterministic "
+        "sampling profiler (event-count triggered; simulated behaviour is "
+        "unchanged) and print a stage summary on exit",
+    )
+    parser.add_argument(
+        "--profile-every",
+        type=int,
+        default=64,
+        metavar="N",
+        help="profiler sampling interval: time every Nth occurrence of each "
+        "stage, first occurrence always (default: 64)",
+    )
+    parser.add_argument(
+        "--speedscope",
+        metavar="FILE",
+        help="with --profile: write the stage tree as speedscope JSON "
+        "(simulate defaults to <output>.speedscope.json)",
     )
 
 
@@ -169,7 +210,12 @@ def _make_obs(args: argparse.Namespace, force_metrics: bool = False) -> Observab
         tracer = SamplingTracer(tracer, every=sample)
     wants_metrics = force_metrics or getattr(args, "metrics", None) or _wants_prom(args)
     metrics = MetricsRegistry() if wants_metrics else None
-    return Observability(tracer=tracer, metrics=metrics)
+    prof = (
+        Profiler(getattr(args, "profile_every", 64), metrics=metrics)
+        if getattr(args, "profile", False)
+        else None
+    )
+    return Observability(tracer=tracer, metrics=metrics, prof=prof)
 
 
 def _start_prom(args: argparse.Namespace, obs: Observability, loop=None):
@@ -204,11 +250,49 @@ def _finish_obs(args: argparse.Namespace, obs: Observability) -> None:
     """Flush the trace sink and persist the metrics snapshot, if requested.
 
     Runs in each command's ``finally`` block, so a ring-buffer tracer dumps
-    its window even when the run crashes mid-way.
+    its window even when the run crashes mid-way.  With ``--profile`` it
+    also prints the per-stage attribution table and writes the speedscope
+    export.
     """
     obs.close()
     if getattr(args, "metrics", None) and obs.metrics is not None:
         obs.metrics.write(args.metrics)
+    prof = obs.prof
+    if prof is not None:
+        speedscope_path = getattr(args, "speedscope", None) or getattr(
+            args, "_speedscope_default", None
+        )
+        if speedscope_path:
+            prof.write_speedscope(speedscope_path)
+        print(_render_prof_summary(prof))
+        if speedscope_path:
+            print(
+                "Wrote speedscope profile to %s (open at "
+                "https://www.speedscope.app/)" % speedscope_path
+            )
+
+
+def _render_prof_summary(prof: Profiler, top: int = 12) -> str:
+    """The --profile exit table: top stages by estimated self time."""
+    totals = prof.stage_totals()
+    grand = sum(entry["self_seconds"] for entry in totals.values()) or 1.0
+    ranked = sorted(totals.items(), key=lambda item: -item[1]["self_seconds"])
+    rows = [
+        [
+            name,
+            entry["calls"],
+            entry["packets"],
+            "%.3f" % entry["self_seconds"],
+            "%.1f%%" % (100.0 * entry["self_seconds"] / grand),
+        ]
+        for name, entry in ranked[:top]
+    ]
+    return render_table(
+        ["stage", "calls", "packets", "self [s]", "share"],
+        rows,
+        title="Profile (sampled every %d per stage, %.3f s attributed)"
+        % (prof.every, prof.total_estimate()),
+    )
 
 
 # The CLI's AS database / acknowledged-scanner registry now live in
@@ -218,7 +302,11 @@ _default_asdb = default_asdb
 _default_acknowledged = default_acknowledged
 
 
-def _load_capture(args: argparse.Namespace, obs: Observability | None = None):
+def _load_capture(
+    args: argparse.Namespace,
+    obs: Observability | None = None,
+    pcap: str | None = None,
+):
     """Load the sanitized capture through the columnar analysis plane.
 
     Delegates to :func:`repro.capstore.load_or_build`: a valid ``.capidx``
@@ -229,12 +317,25 @@ def _load_capture(args: argparse.Namespace, obs: Observability | None = None):
     """
     obs = obs or Observability()
     view, _cache_hit = load_or_build(
-        args.pcap,
+        pcap if pcap is not None else args.pcap,
         workers=getattr(args, "workers", 1),
         use_cache=not getattr(args, "no_cache", False),
         obs=obs,
     )
     return view
+
+
+def _load_shard_capture(paths: list[str], args: argparse.Namespace, obs: Observability):
+    """Index several per-shard pcaps without merging them first."""
+    from repro.capstore import ClassifiedView
+    from repro.capstore.build import build_from_shards
+
+    for path in paths:
+        if not os.path.exists(path):
+            raise SystemExit("repro %s: %s: no such pcap" % (args.command, path))
+    with obs.span("index.build", local=True, shards=len(paths)):
+        table, stats = build_from_shards(paths, obs=obs)
+    return ClassifiedView(table, stats)
 
 
 # ---------------------------------------------------------------------------
@@ -249,28 +350,71 @@ def cmd_simulate(args: argparse.Namespace) -> int:
         else ScenarioConfig(seed=args.seed)
     )
     config = config.scaled(args.scale)
+    args._speedscope_default = args.output + ".speedscope.json"
     if args.workers > 1:
         return _simulate_sharded(args, config)
+    if args.keep_shards or args.no_merge:
+        raise SystemExit(
+            "repro simulate: --keep-shards/--no-merge need --workers N >= 2"
+        )
     print("Simulating %d (scale %.2f, seed %d)…" % (args.year, args.scale, args.seed))
+    from repro.workloads.scenario import plan_traffic_units
+
     obs = _make_obs(args)
+    progress_dir = args.output + ".progress"
+    clean_progress_dir(progress_dir)
+    heartbeat = HeartbeatWriter(progress_dir, worker=0)
+    heartbeat.total = expected_events(
+        sum(unit.weight for unit in plan_traffic_units(config))
+    )
     stop_prom = lambda: None  # noqa: E731 - trivial default finisher
     try:
-        if obs.metrics is not None:
-            with obs.metrics.time_block("build_scenario"):
+        heartbeat.update("build")
+        with obs.span("simulate.build", local=True):
+            if obs.metrics is not None:
+                with obs.metrics.time_block("build_scenario"):
+                    scenario = build_scenario(config, obs=obs)
+            else:
                 scenario = build_scenario(config, obs=obs)
-            stop_prom = _start_prom(args, obs, loop=scenario.loop)
-            with obs.metrics.time_block("simulate"):
+        stop_prom = _start_prom(args, obs, loop=scenario.loop)
+        loop = scenario.loop
+        telescope = scenario.telescope
+        prof = obs.prof
+
+        def on_progress(count: int) -> None:
+            heartbeat.update(
+                "run",
+                done=count,
+                records=len(telescope.records),
+                span=prof.current_path if prof is not None else "",
+                sim_time=loop.now,
+            )
+
+        loop.on_progress = on_progress
+        heartbeat.update("run")
+        with obs.span("simulate.run", local=True):
+            if obs.metrics is not None:
+                with obs.metrics.time_block("simulate"):
+                    scenario.run()
+            else:
                 scenario.run()
+        if obs.metrics is not None:
             with obs.metrics.time_block("write_pcap"):
                 with open(args.output, "wb") as fileobj:
-                    scenario.telescope.write_pcap(fileobj)
+                    telescope.write_pcap(fileobj)
         else:
-            scenario = build_scenario(config, obs=obs)
-            scenario.run()
             with open(args.output, "wb") as fileobj:
-                scenario.telescope.write_pcap(fileobj)
+                telescope.write_pcap(fileobj)
+        heartbeat.update(
+            "done",
+            done=loop.events_processed,
+            records=len(telescope.records),
+            sim_time=loop.now,
+            final=True,
+        )
     finally:
         stop_prom()
+        heartbeat.close()
         _finish_obs(args, obs)
     print(
         "Wrote %d captured packets to %s"
@@ -287,6 +431,10 @@ def _simulate_sharded(args: argparse.Namespace, config: ScenarioConfig) -> int:
     after the merge rather than live).  With ``--trace``, worker *k*
     writes ``FILE.worker<k>`` and the parent trace records the shard
     plan.  Same seed and scale ⇒ same merged pcap for any worker count.
+    Workers heartbeat into ``<output>.progress/`` (``repro progress``
+    renders it live); ``--keep-shards`` leaves the per-shard pcaps next
+    to the merged file, ``--no-merge`` skips the merge entirely so
+    ``repro analyze <output>.shard*`` can consume the shards directly.
     """
     from repro.simnet.shard import simulate_sharded
 
@@ -296,23 +444,38 @@ def _simulate_sharded(args: argparse.Namespace, config: ScenarioConfig) -> int:
     )
     obs = _make_obs(args)
     stop_prom = _start_prom(args, obs)
+    progress_dir = args.output + ".progress"
+    kwargs = dict(
+        obs=obs,
+        trace_path=args.trace,
+        progress_dir=progress_dir,
+        keep_shards=args.keep_shards,
+        merge=not args.no_merge,
+    )
     try:
         if obs.metrics is not None:
             with obs.metrics.time_block("simulate"):
-                result = simulate_sharded(
-                    config, args.workers, args.output, obs=obs, trace_path=args.trace
-                )
+                result = simulate_sharded(config, args.workers, args.output, **kwargs)
         else:
-            result = simulate_sharded(
-                config, args.workers, args.output, obs=obs, trace_path=args.trace
-            )
+            result = simulate_sharded(config, args.workers, args.output, **kwargs)
     finally:
         stop_prom()
         _finish_obs(args, obs)
-    print(
-        "Wrote %d captured packets to %s (merged from %d shards)"
-        % (result.total_records, args.output, len(result.shards))
-    )
+    if args.no_merge:
+        print(
+            "Wrote %d captured packets across %d shard pcaps (%s; not merged)"
+            % (result.total_records, len(result.shards), " ".join(result.shard_paths))
+        )
+    else:
+        print(
+            "Wrote %d captured packets to %s (merged from %d shards%s)"
+            % (
+                result.total_records,
+                args.output,
+                len(result.shards),
+                "; shard pcaps kept" if args.keep_shards else "",
+            )
+        )
     return 0
 
 
@@ -390,12 +553,17 @@ def cmd_analyze(args: argparse.Namespace) -> int:
     wanted = _validate_tables(args.tables)
     obs = _make_obs(args)
     try:
-        capture = _load_capture(args, obs=obs)
+        if len(args.pcap) > 1:
+            capture = _load_shard_capture(args.pcap, args, obs)
+        else:
+            capture = _load_capture(args, obs=obs, pcap=args.pcap[0])
         if obs.metrics is not None:
             with obs.metrics.time_block("analyze"):
-                print(render_analysis(capture, wanted))
+                with obs.span("analyze.render", local=True):
+                    print(render_analysis(capture, wanted))
         else:
-            print(render_analysis(capture, wanted))
+            with obs.span("analyze.render", local=True):
+                print(render_analysis(capture, wanted))
         return 0
     finally:
         _finish_obs(args, obs)
@@ -505,6 +673,34 @@ def render_analysis(capture, wanted: set) -> str:
 
 def cmd_index(args: argparse.Namespace) -> int:
     """Prebuild or inspect the ``.capidx`` sidecar for a pcap."""
+    if len(args.pcap) > 1:
+        # Shard mode: index the per-worker pcaps in one pass.  The table
+        # lives in memory only — a .capidx sidecar describes exactly one
+        # source pcap, so none is persisted; merge the shards (or pass a
+        # single pcap) to build a durable index.
+        if args.info or args.force:
+            raise SystemExit(
+                "repro index: --info/--force apply to a single pcap, not shards"
+            )
+        obs = _make_obs(args, force_metrics=True)
+        try:
+            view = _load_shard_capture(args.pcap, args, obs)
+        finally:
+            _finish_obs(args, obs)
+        stats = view.stats
+        print(
+            "Indexed %d shard pcaps in memory: %d rows (%d backscatter, %d "
+            "scans) from %d records (no sidecar written)"
+            % (
+                len(args.pcap),
+                len(view),
+                stats.backscatter,
+                stats.scans,
+                stats.total_records,
+            )
+        )
+        return 0
+    args.pcap = args.pcap[0]
     index_path = sidecar_path(args.pcap)
     if args.info:
         try:
@@ -655,10 +851,29 @@ def _format_delta_value(value: float) -> str:
     return "%+.3f" % value
 
 
+def _load_snapshot_or_exit(path: str) -> dict:
+    """``load_snapshot`` with one-line CLI errors instead of tracebacks.
+
+    Missing and truncated snapshot files are routine operator input (a
+    crashed run, a typo'd path) and must not dump a stack.
+    """
+    try:
+        return load_snapshot(path)
+    except FileNotFoundError:
+        raise SystemExit("repro stats: %s: no such snapshot file" % path)
+    except json.JSONDecodeError as exc:
+        raise SystemExit(
+            "repro stats: %s: invalid snapshot JSON at line %d (truncated "
+            "write?)" % (path, exc.lineno)
+        )
+    except OSError as exc:
+        raise SystemExit("repro stats: %s: %s" % (path, exc.strerror or exc))
+
+
 def cmd_stats_diff(path_a: str, path_b: str) -> int:
     """Per-metric deltas between two ``--metrics`` snapshots (B minus A)."""
-    flat_a = _flatten_snapshot(load_snapshot(path_a))
-    flat_b = _flatten_snapshot(load_snapshot(path_b))
+    flat_a = _flatten_snapshot(_load_snapshot_or_exit(path_a))
+    flat_b = _flatten_snapshot(_load_snapshot_or_exit(path_b))
     if not flat_a and not flat_b:
         print("neither file contains metrics sections (not --metrics snapshots?)")
         return 1
@@ -709,7 +924,7 @@ def cmd_stats(args: argparse.Namespace) -> int:
     if not args.metrics_file:
         print("repro stats: give a snapshot file, or --diff A.json B.json")
         return 2
-    snapshot = load_snapshot(args.metrics_file)
+    snapshot = _load_snapshot_or_exit(args.metrics_file)
     if not any(
         snapshot.get(section)
         for section in ("timers", "counters", "gauges", "histograms")
@@ -778,6 +993,15 @@ def cmd_trace_summarize(args: argparse.Namespace) -> int:
     # by -W ignore / PYTHONWARNINGS and captured wholesale under test
     # runners; catching and re-printing makes the notice reach stderr
     # unconditionally while keeping stdout parseable.
+    # ``read_trace`` is a generator, so a missing file would only surface
+    # (as a traceback) on first iteration; probe now for a one-line error.
+    try:
+        open(args.trace_file).close()
+    except OSError as exc:
+        raise SystemExit(
+            "repro trace summarize: %s: %s"
+            % (args.trace_file, exc.strerror or exc)
+        )
     with warnings.catch_warnings(record=True) as caught:
         warnings.simplefilter("always")
         for event in read_trace(args.trace_file):
@@ -838,6 +1062,39 @@ def cmd_trace_summarize(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_trace_merge(args: argparse.Namespace) -> int:
+    """K-way-merge per-worker span streams into one canonical timeline."""
+    for path in args.inputs:
+        if not os.path.exists(path):
+            raise SystemExit("repro trace merge: %s: no such trace file" % path)
+    count = merge_span_timelines(args.inputs, args.output)
+    print(
+        "Merged %d spans from %d traces into %s"
+        % (count, len(args.inputs), args.output)
+    )
+    return 0
+
+
+def cmd_progress(args: argparse.Namespace) -> int:
+    """Render (or follow) the heartbeat table of a sharded run.
+
+    ``target`` is either the progress directory itself or the simulate
+    output path (heartbeats live in ``<output>.progress/``).  In follow
+    mode the table reprints every ``--interval`` seconds until every
+    worker reports done.
+    """
+    directory = resolve_progress_dir(args.target)
+    while True:
+        beats = read_heartbeats(directory)
+        print(render_progress(beats))
+        if not args.follow:
+            return 0 if beats else 1
+        if beats and aggregate(beats)["running"] == 0:
+            return 0
+        _wall.sleep(args.interval)
+        print()
+
+
 # ---------------------------------------------------------------------------
 # Entry point
 # ---------------------------------------------------------------------------
@@ -863,6 +1120,18 @@ def build_parser() -> argparse.ArgumentParser:
         help="shard the scenario across N worker processes and merge the "
         "captures into one time-ordered pcap (1 = serial; the merged "
         "output is identical for any N at the same seed and scale)",
+    )
+    simulate.add_argument(
+        "--keep-shards",
+        action="store_true",
+        help="with --workers: leave the per-shard pcaps (<output>.shard<k>) "
+        "on disk after the merge",
+    )
+    simulate.add_argument(
+        "--no-merge",
+        action="store_true",
+        help="with --workers: skip the merge step entirely; analyze/index "
+        "consume the shard pcaps directly (repro analyze out.pcap.shard*)",
     )
     _add_obs_flags(simulate)
     _add_prom_flags(simulate)
@@ -895,7 +1164,12 @@ def build_parser() -> argparse.ArgumentParser:
     classify.set_defaults(func=cmd_classify)
 
     analyze = sub.add_parser("analyze", help="reproduce tables from a pcap")
-    analyze.add_argument("pcap")
+    analyze.add_argument(
+        "pcap",
+        nargs="+",
+        help="capture to analyze; several paths (e.g. out.pcap.shard*) are "
+        "treated as per-worker shard pcaps and indexed without a merge",
+    )
     analyze.add_argument(
         "--tables",
         nargs="*",
@@ -910,7 +1184,12 @@ def build_parser() -> argparse.ArgumentParser:
     index = sub.add_parser(
         "index", help="prebuild or inspect the .capidx analysis index"
     )
-    index.add_argument("pcap")
+    index.add_argument(
+        "pcap",
+        nargs="+",
+        help="pcap to index; several paths are treated as per-worker shard "
+        "pcaps and indexed in one in-memory pass (no sidecar written)",
+    )
     index.add_argument(
         "--info",
         action="store_true",
@@ -968,6 +1247,51 @@ def build_parser() -> argparse.ArgumentParser:
         "--top", type=int, default=15, help="how many event types to list"
     )
     summarize.set_defaults(func=cmd_trace_summarize)
+    merge = trace_sub.add_parser(
+        "merge",
+        help="k-way-merge per-worker span streams into one canonical "
+        "timeline (byte-identical for any worker count)",
+    )
+    merge.add_argument("output", help="merged span timeline to write (JSONL)")
+    merge.add_argument(
+        "inputs", nargs="+", help="per-worker traces (FILE.worker<k>)"
+    )
+    merge.set_defaults(func=cmd_trace_merge)
+
+    progress = sub.add_parser(
+        "progress", help="render the heartbeat table of a sharded run"
+    )
+    progress.add_argument(
+        "target",
+        help="progress directory, or the simulate/index output path "
+        "(heartbeats live in <output>.progress/)",
+    )
+    progress.add_argument(
+        "--follow",
+        action="store_true",
+        help="reprint until every worker reports done",
+    )
+    progress.add_argument(
+        "--interval",
+        type=float,
+        default=2.0,
+        metavar="SECONDS",
+        help="seconds between refreshes in follow mode (default: 2)",
+    )
+    progress.set_defaults(func=cmd_progress)
+
+    top = sub.add_parser(
+        "top", help="live-follow a sharded run's progress (progress --follow)"
+    )
+    top.add_argument("target", help="progress directory or simulate output path")
+    top.add_argument(
+        "--interval",
+        type=float,
+        default=1.0,
+        metavar="SECONDS",
+        help="seconds between refreshes (default: 1)",
+    )
+    top.set_defaults(func=cmd_progress, follow=True)
     return parser
 
 

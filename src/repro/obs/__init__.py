@@ -1,10 +1,18 @@
-"""Observability: qlog-style tracing plus a metrics registry.
+"""Observability: qlog-style tracing, metrics, profiling, and progress.
 
 One :class:`Observability` bundle is threaded through every layer of the
 simulator — event loop, network, load balancers, server engines, the
 telescope, and the sanitization pipeline.  The default :data:`NULL_OBS`
-carries an inert tracer and no registry, so uninstrumented runs pay only
-a falsy attribute check on hot paths.
+carries an inert tracer, no registry, and no profiler, so uninstrumented
+runs pay only a falsy attribute check on hot paths.
+
+The bundle's three planes:
+
+* ``tracer`` — flat qlog-style event stream (:mod:`repro.obs.trace`),
+* ``metrics`` — counters/gauges/histograms (:mod:`repro.obs.metrics`),
+* ``prof`` — the hierarchical stage profiler (:mod:`repro.obs.prof`);
+  :meth:`Observability.span` opens a stage on it and, when the tracer is
+  live too, emits a ``span:*`` event with ``span``/``parent`` ids.
 """
 
 from __future__ import annotations
@@ -24,12 +32,14 @@ from repro.obs.metrics import (
     MetricsRegistry,
     load_snapshot,
 )
+from repro.obs.prof import Profiler, validate_speedscope
 from repro.obs.sinks import (
     DEFAULT_ALWAYS_KEEP,
     RingBufferTracer,
     SamplingTracer,
     install_signal_dump,
 )
+from repro.obs.spans import NULL_SPAN, Span, merge_span_timelines
 from repro.obs.trace import (
     CAT_CAPSTORE,
     CAT_CONNECTIVITY,
@@ -39,6 +49,7 @@ from repro.obs.trace import (
     CAT_SANITIZE,
     CAT_SECURITY,
     CAT_SIM,
+    CAT_SPAN,
     CAT_TELESCOPE,
     CAT_TRANSPORT,
     CAT_WORKLOAD,
@@ -70,6 +81,11 @@ __all__ = [
     "Histogram",
     "MetricsRegistry",
     "load_snapshot",
+    "Profiler",
+    "validate_speedscope",
+    "Span",
+    "NULL_SPAN",
+    "merge_span_timelines",
     "CAT_CAPSTORE",
     "CAT_CONNECTIVITY",
     "CAT_LB",
@@ -78,6 +94,7 @@ __all__ = [
     "CAT_SANITIZE",
     "CAT_SECURITY",
     "CAT_SIM",
+    "CAT_SPAN",
     "CAT_TELESCOPE",
     "CAT_TRANSPORT",
     "CAT_WORKLOAD",
@@ -85,25 +102,41 @@ __all__ = [
 
 
 class Observability:
-    """A tracer and an optional metrics registry, passed down together."""
+    """A tracer, optional metrics registry, and optional profiler."""
 
-    __slots__ = ("tracer", "metrics")
+    __slots__ = ("tracer", "metrics", "prof")
 
     def __init__(
         self,
         tracer: Optional[Tracer] = None,
         metrics: Optional[MetricsRegistry] = None,
+        prof: Optional[Profiler] = None,
     ) -> None:
         self.tracer = NULL_TRACER if tracer is None else tracer
         self.metrics = metrics
+        self.prof = prof
 
     @property
     def enabled(self) -> bool:
-        return self.tracer.enabled or self.metrics is not None
+        return (
+            self.tracer.enabled or self.metrics is not None or self.prof is not None
+        )
+
+    def span(self, name: str, **fields):
+        """Open a hierarchical stage span (see :mod:`repro.obs.spans`).
+
+        Returns the shared inert :data:`NULL_SPAN` unless a profiler is
+        attached — spans exist to feed the profiler's stage tree; the
+        flat tracer alone keeps its existing event vocabulary, so
+        ``--trace`` output without ``--profile`` is unchanged.
+        """
+        if self.prof is None:
+            return NULL_SPAN
+        return Span(self, name, fields)
 
     def close(self) -> None:
         self.tracer.close()
 
 
-#: Shared inert bundle: falsy tracer, no registry.
+#: Shared inert bundle: falsy tracer, no registry, no profiler.
 NULL_OBS = Observability()

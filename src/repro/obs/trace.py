@@ -39,6 +39,7 @@ CAT_TELESCOPE = "telescope"  # darknet capture
 CAT_SANITIZE = "sanitize"  # classification pipeline decisions
 CAT_WORKLOAD = "workload"  # traffic generators (attacks, scans, noise)
 CAT_CAPSTORE = "capstore"  # columnar index build/load and cache decisions
+CAT_SPAN = "span"  # hierarchical stage spans (span_id/parent_id links)
 
 
 class Tracer:

@@ -45,6 +45,14 @@ class PacketProtection:
 
     name = "abstract"
 
+    #: Optional :class:`~repro.obs.prof.Profiler` hook (instance attr set
+    #: by the owning engine when profiling).  Class-level None keeps the
+    #: unprofiled hot path to a single attribute load; threading the full
+    #: Observability bundle into the crypto layer would cost more than
+    #: the stages being measured.
+    prof = None
+    prof_profile = None
+
     def __init__(self, version: int, client_dcid: bytes) -> None:
         self.version = version
         self.client_dcid = bytes(client_dcid)
@@ -79,13 +87,24 @@ class PacketProtection:
         pn_length = (header[0] & 0x03) + 1
         pn_offset = len(header) - pn_length
         nonce = keys.nonce(packet_number)
-        sealed = self._seal(keys, nonce, payload, header)
+        prof = self.prof
+        if prof is None:
+            sealed = self._seal(keys, nonce, payload, header)
+        else:
+            node, start = prof.leaf_begin("engine.aead", self.prof_profile)
+            sealed = self._seal(keys, nonce, payload, header)
+            prof.leaf_end(node, start, packets=1)
         packet = bytearray(header + sealed)
         sample_start = pn_offset + SAMPLE_OFFSET
         sample = bytes(packet[sample_start : sample_start + SAMPLE_LENGTH])
         if len(sample) != SAMPLE_LENGTH:
             raise ProtectionError("packet too short to sample for header protection")
-        mask = self._hp_mask(keys, sample)
+        if prof is None:
+            mask = self._hp_mask(keys, sample)
+        else:
+            node, start = prof.leaf_begin("engine.hp", self.prof_profile)
+            mask = self._hp_mask(keys, sample)
+            prof.leaf_end(node, start, packets=1)
         packet[0] ^= mask[0] & (0x0F if packet[0] & 0x80 else 0x1F)
         for i in range(pn_length):
             packet[pn_offset + i] ^= mask[1 + i]

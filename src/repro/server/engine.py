@@ -185,6 +185,8 @@ class QuicServerEngine:
         self.certificate = certificate
         self.stats = EngineStats()
         obs = obs or NULL_OBS
+        self._obs = obs
+        self._prof = obs.prof
         # Per-worker scoped tracer: every event carries profile/host/worker.
         self._tracer = (
             obs.tracer.scoped(
@@ -357,7 +359,17 @@ class QuicServerEngine:
             client_dcid=parsed.dcid,
         )
         scid = self.profile.cid_scheme.generate(conn_rng, context)
-        protection = self._suite(parsed.version, parsed.dcid)
+        prof = self._prof
+        if prof is None:
+            protection = self._suite(parsed.version, parsed.dcid)
+        else:
+            # Suite construction is where Initial key derivation (HKDF)
+            # happens — the "engine.keys" stage of the packet lifecycle.
+            node, start = prof.leaf_begin("engine.keys", self.profile.name)
+            protection = self._suite(parsed.version, parsed.dcid)
+            prof.leaf_end(node, start, packets=1)
+            protection.prof = prof
+            protection.prof_profile = self.profile.name
         conn = ServerConnection(
             scid=scid,
             original_dcid=parsed.dcid,
@@ -585,6 +597,21 @@ class QuicServerEngine:
         return CERT_MAGIC + len(raw).to_bytes(2, "big") + raw
 
     def _send_flight(self, conn: ServerConnection, request: UdpDatagram) -> None:
+        if self._prof is None:
+            self._send_flight_inner(conn, request)
+            return
+        with self._obs.span(
+            "engine.flight",
+            time=self.loop.now,
+            profile=self.profile.name,
+            cid=conn.scid.hex(),
+            coalesced=conn.coalesced,
+        ) as span:
+            self._send_flight_inner(conn, request, span)
+
+    def _send_flight_inner(
+        self, conn: ServerConnection, request: UdpDatagram, span=None
+    ) -> None:
         initial_payload = encode_frames(
             [
                 AckFrame(largest_acked=0, ranges=(AckRange(0, 0),)),
@@ -639,6 +666,8 @@ class QuicServerEngine:
             lengths = [len(first), len(second)]
             self._reply(request, conn.vip, first)
             self._reply(request, conn.vip, second)
+        if span is not None:
+            span.note(packets=len(lengths), bytes=sum(lengths))
         self.stats.flights_sent += 1
         self._count("flights_sent")
         if self._m_datagrams is not None:

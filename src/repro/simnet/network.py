@@ -176,6 +176,20 @@ class Network:
 
     def transmit(self, sender: Device, datagram: UdpDatagram) -> None:
         """Route ``datagram`` to the owner of its destination address."""
+        prof = self.obs.prof
+        if prof is None:
+            self._transmit(sender, datagram)
+            return
+        # Leaf stage, not a span: transmit fires per packet and a full
+        # span push/pop (plus a trace event) would dominate the thing it
+        # measures.  try/finally covers all three outcome returns.
+        node, start = prof.leaf_begin("net.transmit")
+        try:
+            self._transmit(sender, datagram)
+        finally:
+            prof.leaf_end(node, start, packets=1)
+
+    def _transmit(self, sender: Device, datagram: UdpDatagram) -> None:
         tracer = self.obs.tracer
         target = self._routes.lookup(datagram.dst_ip)
         if target is None:

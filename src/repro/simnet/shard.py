@@ -38,11 +38,12 @@ from __future__ import annotations
 
 import multiprocessing
 import os
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Optional, Sequence
 
 from repro.netstack.pcap import merge_pcap_files, record_sort_key, write_pcap
 from repro.obs import NULL_OBS, Observability
+from repro.obs.progress import HeartbeatWriter, clean_progress_dir, expected_events
 from repro.obs.trace import CAT_SIM
 from repro.workloads.scenario import (
     ScenarioConfig,
@@ -77,6 +78,9 @@ class ShardRunResult:
     total_records: int
     shards: list[Shard]
     worker_records: list[int]  # records captured per shard, by shard order
+    #: Per-shard pcap paths still on disk (empty unless the caller asked
+    #: to keep them via ``keep_shards``/``merge=False``).
+    shard_paths: list[str] = field(default_factory=list)
 
 
 def partition_units(
@@ -127,6 +131,7 @@ def run_shard(
     config: ScenarioConfig,
     unit_names: Optional[Sequence[str]] = None,
     obs: Optional[Observability] = None,
+    heartbeat: Optional[HeartbeatWriter] = None,
 ):
     """Build the full deployment, run only the named traffic units.
 
@@ -134,6 +139,13 @@ def run_shard(
     :func:`~repro.netstack.pcap.record_sort_key`.  Used in-process by
     tests and from worker processes by :func:`simulate_sharded`;
     ``unit_names=None`` runs everything (a serial run in merge order).
+
+    When profiling, the build and run phases open ``simulate.build`` /
+    ``simulate.run`` spans marked ``local`` — they describe this
+    *process*, so they are excluded from the canonical merged timeline
+    (see :mod:`repro.obs.spans`).  When a ``heartbeat`` writer is given,
+    it is updated through the build, every ~4096 loop events during the
+    run, and once more (``final``) on completion.
     """
     obs = obs or NULL_OBS
     units = plan_traffic_units(config)
@@ -143,34 +155,86 @@ def run_shard(
         if unknown:
             raise ValueError("unknown traffic units: %s" % ", ".join(sorted(unknown)))
         units = tuple(unit for unit in units if unit.name in wanted)
-    scenario = build_scenario(config, obs=obs, units=units)
-    scenario.run()
-    if scenario.loop.pending:
+    if heartbeat is not None:
+        heartbeat.total = expected_events(sum(unit.weight for unit in units))
+        heartbeat.update("build")
+    with obs.span("simulate.build", local=True, units=len(units)):
+        scenario = build_scenario(config, obs=obs, units=units)
+    loop = scenario.loop
+    if heartbeat is not None:
+        telescope = scenario.telescope
+        prof = obs.prof
+
+        def on_progress(count: int) -> None:
+            heartbeat.update(
+                "run",
+                done=count,
+                records=len(telescope.records),
+                span=prof.current_path if prof is not None else "",
+                sim_time=loop.now,
+            )
+
+        loop.on_progress = on_progress
+        heartbeat.update("run")
+    with obs.span("simulate.run", local=True):
+        scenario.run()
+    if loop.pending:
         raise RuntimeError(
-            "shard finished with %d events still queued" % scenario.loop.pending
+            "shard finished with %d events still queued" % loop.pending
         )
-    return sorted(scenario.telescope.records, key=record_sort_key)
+    records = sorted(scenario.telescope.records, key=record_sort_key)
+    if heartbeat is not None:
+        heartbeat.update(
+            "done",
+            done=loop.events_processed,
+            records=len(records),
+            sim_time=loop.now,
+            final=True,
+        )
+    return records
 
 
 def _worker_main(payload: tuple):
     """Worker-process entry: run one shard, persist its capture.
 
-    Returns ``(record_count, metrics_snapshot_or_None)``; the capture
-    itself travels via the filesystem (a temporary per-shard pcap) to
-    keep the IPC payload small.
+    Returns ``(record_count, metrics_snapshot_or_None,
+    prof_snapshot_or_None)``; the capture itself travels via the
+    filesystem (a temporary per-shard pcap) to keep the IPC payload
+    small.  ``prof_every`` turns on an in-worker profiler whose snapshot
+    the parent merges; ``progress_dir`` points at the run's heartbeat
+    directory.
     """
-    config, unit_names, pcap_path, want_metrics, trace_path = payload
-    from repro.obs import JsonlTracer, MetricsRegistry
+    (
+        config,
+        unit_names,
+        pcap_path,
+        want_metrics,
+        trace_path,
+        prof_every,
+        progress_dir,
+        shard_index,
+    ) = payload
+    from repro.obs import JsonlTracer, MetricsRegistry, Profiler
 
     tracer = JsonlTracer.to_path(trace_path) if trace_path else None
     metrics = MetricsRegistry() if want_metrics else None
-    obs = Observability(tracer=tracer, metrics=metrics)
+    prof = Profiler(prof_every, metrics=metrics) if prof_every else None
+    obs = Observability(tracer=tracer, metrics=metrics, prof=prof)
+    heartbeat = (
+        HeartbeatWriter(progress_dir, worker=shard_index) if progress_dir else None
+    )
     try:
-        records = run_shard(config, unit_names, obs=obs)
+        records = run_shard(config, unit_names, obs=obs, heartbeat=heartbeat)
         write_pcap(pcap_path, records)
     finally:
         obs.close()
-    return (len(records), metrics.snapshot() if metrics is not None else None)
+        if heartbeat is not None:
+            heartbeat.close()
+    return (
+        len(records),
+        metrics.snapshot() if metrics is not None else None,
+        prof.snapshot() if prof is not None else None,
+    )
 
 
 def _pool_context():
@@ -185,15 +249,24 @@ def simulate_sharded(
     output: str,
     obs: Optional[Observability] = None,
     trace_path: Optional[str] = None,
+    progress_dir: Optional[str] = None,
+    keep_shards: bool = False,
+    merge: bool = True,
 ) -> ShardRunResult:
     """Run ``config`` across ``workers`` processes and merge into ``output``.
 
     Per-shard pcaps are written next to ``output`` (``output.shard<k>``)
-    and removed after the merge.  When ``obs`` carries a metrics
-    registry, workers snapshot theirs and the parent merges them; when
+    and removed after the merge unless ``keep_shards`` (or ``merge=False``,
+    which skips the merge entirely — downstream consumers read the shard
+    files directly via ``build_from_shards``).  When ``obs`` carries a
+    metrics registry, workers snapshot theirs and the parent merges them;
+    when it carries a profiler, workers profile at the same sampling
+    interval and the parent merges their stage trees.  When
     ``trace_path`` is given, worker *k* writes its own JSONL trace to
-    ``trace_path.worker<k>`` (traces are per-process narratives and are
-    not merged).
+    ``trace_path.worker<k>`` (mergeable into one canonical span timeline
+    with ``repro trace merge``).  ``progress_dir`` makes every worker
+    write live heartbeats there (stale ones are cleaned first) for
+    ``repro progress`` / ``repro top``.
     """
     if workers < 2:
         raise ValueError(
@@ -202,6 +275,9 @@ def simulate_sharded(
     obs = obs or NULL_OBS
     shards = plan_shards(config, workers)
     want_metrics = obs.metrics is not None
+    prof_every = obs.prof.every if obs.prof is not None else 0
+    if progress_dir is not None:
+        clean_progress_dir(progress_dir)
     shard_paths = ["%s.shard%d" % (output, shard.index) for shard in shards]
     payloads = [
         (
@@ -210,6 +286,9 @@ def simulate_sharded(
             path,
             want_metrics,
             "%s.worker%d" % (trace_path, shard.index) if trace_path else None,
+            prof_every,
+            progress_dir,
+            shard.index,
         )
         for shard, path in zip(shards, shard_paths)
     ]
@@ -225,20 +304,33 @@ def simulate_sharded(
     ctx = _pool_context()
     with ctx.Pool(processes=len(shards)) as pool:
         results = pool.map(_worker_main, payloads)
-    try:
-        total = merge_pcap_files(shard_paths, output)
-    finally:
-        for path in shard_paths:
-            try:
-                os.remove(path)
-            except OSError:
-                pass
+    if merge:
+        try:
+            # The parent deliberately opens no ``simulate.run`` span of its
+            # own: the merged worker trees already carry the run stages,
+            # and a parent duplicate would double-count them.
+            with obs.span("simulate.merge", local=True, shards=len(shard_paths)):
+                total = merge_pcap_files(shard_paths, output)
+        finally:
+            if not keep_shards:
+                for path in shard_paths:
+                    try:
+                        os.remove(path)
+                    except OSError:
+                        pass
+    else:
+        total = sum(count for count, _metrics, _prof in results)
     if want_metrics:
-        for _count, snapshot in results:
+        for _count, snapshot, _prof_snap in results:
             if snapshot is not None:
                 obs.metrics.merge_snapshot(snapshot)
+    if obs.prof is not None:
+        for _count, _metrics_snap, prof_snap in results:
+            if prof_snap is not None:
+                obs.prof.merge_snapshot(prof_snap)
     return ShardRunResult(
         total_records=total,
         shards=shards,
-        worker_records=[count for count, _snapshot in results],
+        worker_records=[count for count, _metrics_snap, _prof_snap in results],
+        shard_paths=shard_paths if (keep_shards or not merge) else [],
     )

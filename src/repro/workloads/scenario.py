@@ -656,11 +656,19 @@ def _build_traffic(
         "zero_rtt_isp": _install_zero_rtt,
         "noise": _install_noise,
     }
+    obs = scenario.obs
     for unit in units:
         installer = installers.get(unit.kind)
         if installer is None:
             raise ValueError("unknown traffic unit kind %r" % unit.kind)
-        installer(scenario, isp_prefixes, unit, random.Random(unit.seed))
+        with obs.span(
+            "simulate.unit",
+            unit=unit.name,
+            kind=unit.kind,
+            count=unit.count,
+            packets=unit.weight,
+        ):
+            installer(scenario, isp_prefixes, unit, random.Random(unit.seed))
 
 
 def _attack_spec(scenario: Scenario, group: str):

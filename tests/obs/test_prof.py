@@ -1,0 +1,214 @@
+"""The event-count-sampled stage profiler."""
+
+import pytest
+
+from repro.obs import MetricsRegistry, Profiler, validate_speedscope
+
+
+def _run_sequence(prof, flights=10, seals_per_flight=3):
+    """A deterministic push/pop workload: flights containing AEAD leaves."""
+    ids = []
+    for _ in range(flights):
+        node, start, span_id, parent_id = prof.push("engine.flight", "facebook")
+        ids.append((span_id, parent_id))
+        for _ in range(seals_per_flight):
+            leaf, leaf_start = prof.leaf_begin("engine.aead")
+            prof.leaf_end(leaf, leaf_start, packets=1)
+        prof.pop(node, start, packets=seals_per_flight)
+    return ids
+
+
+class TestSampling:
+    def test_first_occurrence_always_sampled(self):
+        prof = Profiler(every=1000)
+        _run_sequence(prof, flights=5)
+        flight = prof.root.children[("engine.flight", "facebook")]
+        assert flight.calls == 5
+        assert flight.sampled == 1  # occurrence 1 only; 1001 never reached
+
+    def test_sampling_is_a_pure_function_of_call_counts(self):
+        a, b = Profiler(every=7), Profiler(every=7)
+        _run_sequence(a, flights=30)
+        _run_sequence(b, flights=30)
+        node_a = a.root.children[("engine.flight", "facebook")]
+        node_b = b.root.children[("engine.flight", "facebook")]
+        assert node_a.sampled == node_b.sampled == 5  # occurrences 1,8,15,22,29
+
+    def test_every_one_samples_everything(self):
+        prof = Profiler(every=1)
+        _run_sequence(prof, flights=4, seals_per_flight=2)
+        flight = prof.root.children[("engine.flight", "facebook")]
+        aead = flight.children[("engine.aead", None)]
+        assert (flight.calls, flight.sampled) == (4, 4)
+        assert (aead.calls, aead.sampled) == (8, 8)
+
+    def test_invalid_interval_rejected(self):
+        with pytest.raises(ValueError):
+            Profiler(every=0)
+
+    def test_wall_estimate_rescales_by_sampling(self):
+        prof = Profiler(every=4)
+        node = prof.root.child("stage", None)
+        node.calls, node.sampled, node.wall = 8, 2, 0.5
+        assert node.wall_estimate() == pytest.approx(2.0)
+
+    def test_packets_accumulate_on_unsampled_occurrences_too(self):
+        prof = Profiler(every=1000)
+        _run_sequence(prof, flights=6, seals_per_flight=2)
+        flight = prof.root.children[("engine.flight", "facebook")]
+        aead = flight.children[("engine.aead", None)]
+        assert flight.packets == 12
+        assert aead.packets == 12
+
+
+class TestSpanIds:
+    def test_parent_ids_follow_nesting(self):
+        prof = Profiler(every=64)
+        outer_node, outer_start, outer_id, outer_parent = prof.push("simulate.unit")
+        assert outer_parent == 0  # root
+        inner = prof.push("engine.flight")
+        assert inner[3] == outer_id
+        assert prof.current_span_id == inner[2]
+        prof.pop(inner[0], inner[1])
+        prof.pop(outer_node, outer_start)
+        assert prof.current_span_id == 0
+
+    def test_ids_are_independent_of_sampling_interval(self):
+        """Span ids come from a plain counter — thinning never shifts them."""
+        dense = Profiler(every=1)
+        sparse = Profiler(every=10_000)
+        assert _run_sequence(dense) == _run_sequence(sparse)
+
+    def test_current_path_tracks_the_stack(self):
+        prof = Profiler()
+        unit = prof.push("simulate.unit")
+        flight = prof.push("engine.flight")
+        assert prof.current_path == "simulate.unit/engine.flight"
+        prof.pop(flight[0], flight[1])
+        prof.pop(unit[0], unit[1])
+        assert prof.current_path == ""
+
+
+class TestSnapshotMerge:
+    def test_roundtrip_preserves_tree(self):
+        prof = Profiler(every=3)
+        _run_sequence(prof, flights=9)
+        merged = Profiler(every=3)
+        merged.merge_snapshot(prof.snapshot())
+        assert merged.snapshot() == prof.snapshot()
+
+    def test_merge_adds_counters(self):
+        workers = []
+        for _ in range(3):
+            prof = Profiler(every=5)
+            _run_sequence(prof, flights=10)
+            workers.append(prof.snapshot())
+        parent = Profiler(every=5)
+        for snap in workers:
+            parent.merge_snapshot(snap)
+        flight = parent.root.children[("engine.flight", "facebook")]
+        aead = flight.children[("engine.aead", None)]
+        assert flight.calls == 30
+        assert aead.calls == 90
+        assert flight.sampled == 6  # 2 sampled per worker (occurrences 1, 6)
+
+    def test_merged_estimates_recompute_from_sums(self):
+        a, b = Profiler(every=1), Profiler(every=1)
+        _run_sequence(a, flights=2)
+        _run_sequence(b, flights=2)
+        parent = Profiler(every=1)
+        parent.merge_snapshot(a.snapshot())
+        parent.merge_snapshot(b.snapshot())
+        assert parent.total_estimate() == pytest.approx(
+            a.total_estimate() + b.total_estimate()
+        )
+
+
+class TestAttribution:
+    def test_stage_totals_sum_packets_and_calls(self):
+        prof = Profiler(every=1)
+        _run_sequence(prof, flights=4, seals_per_flight=2)
+        totals = prof.stage_totals()
+        assert totals["engine.flight"]["calls"] == 4
+        assert totals["engine.aead"]["packets"] == 8
+
+    def test_stage_shares_sum_to_one(self):
+        prof = Profiler(every=1)
+        _run_sequence(prof, flights=20)
+        shares = prof.stage_shares()
+        assert shares
+        assert sum(shares.values()) == pytest.approx(1.0)
+
+    def test_self_estimate_subtracts_children(self):
+        prof = Profiler(every=1)
+        parent = prof.root.child("outer", None)
+        child = parent.child("inner", None)
+        parent.calls = parent.sampled = 1
+        child.calls = child.sampled = 1
+        parent.wall, child.wall = 1.0, 0.25
+        assert parent.self_estimate() == pytest.approx(0.75)
+        child.wall = 2.0  # estimates can cross; self time clamps at zero
+        assert parent.self_estimate() == 0.0
+
+
+class TestExports:
+    def test_speedscope_document_is_valid(self):
+        prof = Profiler(every=2)
+        _run_sequence(prof, flights=6)
+        assert validate_speedscope(prof.to_speedscope("test")) == []
+
+    def test_speedscope_labels_carry_profiles(self):
+        prof = Profiler(every=1)
+        _run_sequence(prof, flights=1)
+        doc = prof.to_speedscope()
+        names = {frame["name"] for frame in doc["shared"]["frames"]}
+        assert "engine.flight [facebook]" in names
+        assert "engine.aead" in names
+
+    def test_write_speedscope_roundtrip(self, tmp_path):
+        import json
+
+        prof = Profiler(every=1)
+        _run_sequence(prof)
+        path = str(tmp_path / "prof.speedscope.json")
+        prof.write_speedscope(path)
+        with open(path) as fileobj:
+            assert validate_speedscope(json.load(fileobj)) == []
+
+    def test_metrics_histogram_observes_sampled_occurrences(self):
+        metrics = MetricsRegistry()
+        prof = Profiler(every=2, metrics=metrics)
+        _run_sequence(prof, flights=4)
+        snapshot = metrics.snapshot()
+        hist = snapshot["histograms"]["prof.stage_seconds"]
+        flight = hist["values"]["engine.flight|facebook"]
+        assert flight["count"] == 2  # occurrences 1 and 3
+
+
+class TestValidateSpeedscope:
+    def test_rejects_non_object(self):
+        assert validate_speedscope([]) == ["document is not a JSON object"]
+
+    def test_flags_missing_pieces(self):
+        problems = validate_speedscope({})
+        assert "missing $schema" in problems
+        assert "shared.frames missing or not a list" in problems
+        assert "profiles missing or empty" in problems
+
+    def test_flags_sample_frame_mismatch(self):
+        doc = {
+            "$schema": "x",
+            "shared": {"frames": [{"name": "a"}]},
+            "profiles": [
+                {
+                    "type": "sampled",
+                    "name": "p",
+                    "unit": "seconds",
+                    "startValue": 0,
+                    "endValue": 1,
+                    "samples": [[0, 5]],
+                    "weights": [1.0],
+                }
+            ],
+        }
+        assert any("unknown frame" in p for p in validate_speedscope(doc))

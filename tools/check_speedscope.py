@@ -1,0 +1,61 @@
+#!/usr/bin/env python
+"""Validate speedscope-format profile JSON files.
+
+The profiler (``repro simulate --profile`` / ``benchmarks/bench_prof.py``)
+exports flamegraph documents meant to open cleanly at
+https://www.speedscope.app/; a malformed export would only be noticed
+when a human loads one.  This checker runs the same schema validation the
+library ships (:func:`repro.obs.prof.validate_speedscope`) from the
+command line, so CI can gate every exported profile:
+
+    python tools/check_speedscope.py benchmarks/out/prof.speedscope.json
+
+Exit status is the number of invalid files (0 = all valid).  Unreadable
+or non-JSON files count as invalid rather than crashing the run.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+from typing import List
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(__file__), os.pardir, "src")
+)  # runnable from a bare checkout, no install step needed
+
+from repro.obs.prof import validate_speedscope  # noqa: E402
+
+
+def check_file(path: str) -> List[str]:
+    """Problems with one speedscope file (empty = valid)."""
+    try:
+        with open(path, encoding="utf-8") as fileobj:
+            doc = json.load(fileobj)
+    except OSError as exc:
+        return ["unreadable: %s" % exc.strerror]
+    except ValueError as exc:
+        return ["not valid JSON: %s" % exc]
+    return validate_speedscope(doc)
+
+
+def main(argv: List[str]) -> int:
+    paths = argv[1:]
+    if not paths:
+        print("usage: check_speedscope.py FILE [FILE...]", file=sys.stderr)
+        return 2
+    bad = 0
+    for path in paths:
+        problems = check_file(path)
+        if problems:
+            bad += 1
+            for problem in problems:
+                print("%s: %s" % (path, problem), file=sys.stderr)
+        else:
+            print("%s: valid speedscope profile" % path)
+    return bad
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
