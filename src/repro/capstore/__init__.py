@@ -17,9 +17,13 @@ from repro.capstore.build import (
     emit_stats_counters,
 )
 from repro.capstore.cache import (
+    CacheResult,
     fingerprint_matches,
     load_or_build,
+    load_or_build_ex,
     pcap_fingerprint,
+    prefix_fingerprint,
+    prefix_matches,
     sidecar_path,
 )
 from repro.capstore.format import (
@@ -49,8 +53,12 @@ __all__ = [
     "default_acknowledged",
     "emit_stats_counters",
     "load_or_build",
+    "load_or_build_ex",
+    "CacheResult",
     "sidecar_path",
     "pcap_fingerprint",
+    "prefix_fingerprint",
+    "prefix_matches",
     "fingerprint_matches",
     "MAGIC",
     "SCHEMA_VERSION",

@@ -78,6 +78,8 @@ def build_from_records(
     obs: Optional[Observability] = None,
     kept_flags: Optional[bytearray] = None,
     progress: Optional[Callable[[int], None]] = None,
+    table: Optional[CaptureTable] = None,
+    stats: Optional[SanitizationStats] = None,
 ) -> Tuple[CaptureTable, SanitizationStats]:
     """One streaming dissection pass: records in, columnar table out.
 
@@ -89,11 +91,19 @@ def build_from_records(
     called with the running record count every ~2048 records (heartbeat
     writers hook in here); with a profiler attached, each dissection is
     an ``index.record`` leaf stage.
+
+    ``table``/``stats`` make the pass *append into* existing state
+    instead of starting fresh — the streaming plane's extension path:
+    feeding the tail records of a grown pcap into the table built from
+    its prefix yields exactly the table a full pass would build, because
+    rows are append-only and classification is stateless per record.
     """
     emitter = SanitizeEmitter(obs)
     prof = obs.prof if obs is not None else None
-    table = CaptureTable()
-    stats = SanitizationStats()
+    if table is None:
+        table = CaptureTable()
+    if stats is None:
+        stats = SanitizationStats()
     for record in records:
         stats.total_records += 1
         if progress is not None and not stats.total_records & 2047:
@@ -246,6 +256,7 @@ def build_capture_table(
     asdb_factory: Callable[[], AsDatabase] = default_asdb,
     ack_factory: Callable[[], AcknowledgedScanners] = default_acknowledged,
     progress_dir: Optional[str] = None,
+    offsets: Optional[Sequence[int]] = None,
 ) -> Tuple[CaptureTable, SanitizationStats]:
     """Build the columnar table for one pcap, optionally in parallel.
 
@@ -254,17 +265,29 @@ def build_capture_table(
     the serial table.  Factories must be module-level callables so they
     pickle into workers by reference.  ``progress_dir`` makes each
     row-group worker write live heartbeats there.
+
+    ``offsets``, if given, is a precomputed record-offset list (e.g. the
+    complete-record prefix of a still-growing capture from
+    :func:`~repro.netstack.pcap.scan_pcap_tail`); only those records are
+    dissected, and the strict whole-file scan is skipped.
     """
     obs = obs or NULL_OBS
     if workers <= 1:
+        if offsets is None:
+            records = iter_pcap(pcap_path)
+        elif offsets:
+            records = iter_pcap_range(pcap_path, offsets[0], len(offsets))
+        else:
+            records = iter(())
         return build_from_records(
-            iter_pcap(pcap_path),
+            records,
             asdb=asdb_factory() if asdb_factory else None,
             acknowledged=ack_factory() if ack_factory else None,
             validate_crypto_scans=validate_crypto_scans,
             obs=obs,
         )
-    offsets = scan_pcap_offsets(pcap_path)
+    if offsets is None:
+        offsets = scan_pcap_offsets(pcap_path)
     groups = _row_groups(offsets, workers)
     if len(groups) <= 1:
         return build_capture_table(
@@ -274,6 +297,7 @@ def build_capture_table(
             obs=obs,
             asdb_factory=asdb_factory,
             ack_factory=ack_factory,
+            offsets=offsets,
         )
     payloads = [
         (

@@ -12,9 +12,20 @@ hashing the pcap), with a blake2b content hash as the authoritative
 check when the mtime moved — so a rewritten capture invalidates even
 with a back-dated timestamp, and a merely-touched file still hits.
 
+The fingerprint also records the *prefix* the index covers —
+``indexed_bytes`` (how far into the pcap the dissection ran),
+``prefix_blake2b`` (content hash of exactly those bytes), and
+``records`` (how many records they held).  A capture that *grew* —
+the live-telescope case: a pcap being appended to while analyses run —
+revalidates against the prefix hash and only the appended tail is
+dissected (result ``extended``), instead of the former full rebuild on
+any size change.  A rewritten or truncated pcap still fails the prefix
+check and rebuilds from scratch.
+
 Everything is wired through ``repro.obs``: ``index.load``/``index.build``
-stage timers, a ``capstore.cache`` hit/miss/stale counter, and
-``capstore.rows`` row counts per class.
+/``index.extend`` stage timers, a ``capstore.cache``
+hit/extended/stale/miss counter, and ``capstore.rows`` row counts per
+class.
 """
 
 from __future__ import annotations
@@ -22,10 +33,12 @@ from __future__ import annotations
 import hashlib
 import os
 import sys
+from dataclasses import dataclass
 from typing import Optional, Tuple
 
 from repro.capstore.build import (
     build_capture_table,
+    build_from_records,
     default_acknowledged,
     default_asdb,
     emit_stats_counters,
@@ -37,6 +50,7 @@ from repro.capstore.format import (
     load_index,
 )
 from repro.capstore.table import ClassifiedView
+from repro.netstack.pcap import PcapError, iter_pcap_range, scan_pcap_tail
 from repro.obs import NULL_OBS, Observability
 from repro.obs.trace import CAT_CAPSTORE
 
@@ -62,6 +76,39 @@ def pcap_fingerprint(pcap_path: str, with_hash: bool = True) -> dict:
     return fingerprint
 
 
+def prefix_fingerprint(
+    pcap_path: str, indexed_bytes: int, records: Optional[int] = None
+) -> dict:
+    """Source fingerprint extended with prefix coverage, in one read pass.
+
+    Adds to :func:`pcap_fingerprint`'s size/mtime/full-hash triple:
+    ``indexed_bytes`` (the byte offset the dissection covered — one past
+    the last complete record at build time), ``prefix_blake2b`` (hash of
+    exactly those bytes), and ``records`` (record count in the prefix).
+    Both digests come from a single sequential read of the file.
+    """
+    stat = os.stat(pcap_path)
+    prefix_digest = hashlib.blake2b(digest_size=16)
+    full_digest = hashlib.blake2b(digest_size=16)
+    remaining = indexed_bytes
+    with open(pcap_path, "rb") as fileobj:
+        for chunk in iter(lambda: fileobj.read(1 << 20), b""):
+            full_digest.update(chunk)
+            if remaining > 0:
+                prefix_digest.update(chunk[:remaining])
+                remaining -= min(remaining, len(chunk))
+    fingerprint = {
+        "size": stat.st_size,
+        "mtime_ns": stat.st_mtime_ns,
+        "blake2b": full_digest.hexdigest(),
+        "indexed_bytes": indexed_bytes,
+        "prefix_blake2b": prefix_digest.hexdigest(),
+    }
+    if records is not None:
+        fingerprint["records"] = records
+    return fingerprint
+
+
 def fingerprint_matches(stored: dict, pcap_path: str) -> bool:
     """Is a stored fingerprint still valid for the pcap on disk?"""
     if not stored:
@@ -72,6 +119,59 @@ def fingerprint_matches(stored: dict, pcap_path: str) -> bool:
     if stored.get("mtime_ns") == current["mtime_ns"]:
         return True  # unchanged inode metadata: trust without re-hashing
     return stored.get("blake2b") == pcap_fingerprint(pcap_path)["blake2b"]
+
+
+def prefix_matches(stored: dict, pcap_path: str) -> bool:
+    """Does the pcap on disk still start with the indexed prefix?
+
+    A *grown* capture passes (only the tail needs dissection); a
+    rewritten or truncated one fails.  Sidecars written before the
+    prefix fields existed fall back to their whole-file values —
+    ``indexed_bytes`` defaults to the stored size and ``prefix_blake2b``
+    to the full-content hash, which is exactly the prefix hash when the
+    index covered the whole file.
+    """
+    if not stored:
+        return False
+    indexed = stored.get("indexed_bytes", stored.get("size"))
+    prefix_hash = stored.get("prefix_blake2b", stored.get("blake2b"))
+    if indexed is None or prefix_hash is None:
+        return False
+    stat = os.stat(pcap_path)
+    if stat.st_size < indexed:
+        return False  # truncated below the indexed prefix
+    if (
+        stat.st_size == stored.get("size")
+        and stat.st_mtime_ns == stored.get("mtime_ns")
+    ):
+        return True  # unchanged inode metadata: the prefix is untouched
+    digest = hashlib.blake2b(digest_size=16)
+    remaining = indexed
+    with open(pcap_path, "rb") as fileobj:
+        while remaining > 0:
+            chunk = fileobj.read(min(1 << 20, remaining))
+            if not chunk:
+                return False
+            digest.update(chunk)
+            remaining -= len(chunk)
+    return digest.hexdigest() == prefix_hash
+
+
+@dataclass
+class CacheResult:
+    """Outcome of :func:`load_or_build_ex`.
+
+    ``status`` is ``"hit"`` (sidecar covered the file as-is),
+    ``"extended"`` (valid prefix; only the grown tail was dissected), or
+    ``"miss"`` (full build — including after a stale sidecar).
+    ``indexed_bytes`` is how far into the pcap the returned view covers:
+    the end of the last complete record, which trails the file size while
+    a writer is mid-append.
+    """
+
+    view: ClassifiedView
+    status: str
+    indexed_bytes: int
 
 
 def load_or_build(
@@ -86,7 +186,34 @@ def load_or_build(
     With ``use_cache`` (the default) a valid ``.capidx`` sidecar is loaded
     instead of dissecting, and a freshly built index is persisted for the
     next run; ``use_cache=False`` both ignores and skips writing the
-    sidecar (the ``--no-cache`` escape hatch).
+    sidecar (the ``--no-cache`` escape hatch).  ``cache_hit`` is True only
+    for a pure hit; see :func:`load_or_build_ex` for the richer status
+    that distinguishes an incremental tail extension.
+    """
+    result = load_or_build_ex(
+        pcap_path,
+        workers=workers,
+        use_cache=use_cache,
+        obs=obs,
+        validate_crypto_scans=validate_crypto_scans,
+    )
+    return result.view, result.status == "hit"
+
+
+def load_or_build_ex(
+    pcap_path: str,
+    workers: int = 1,
+    use_cache: bool = True,
+    obs: Optional[Observability] = None,
+    validate_crypto_scans: bool = True,
+) -> CacheResult:
+    """The streaming-aware cache entry point: hit, extend, or rebuild.
+
+    The build (and extension) paths cover exactly the pcap's
+    complete-record *prefix* — a capture still being appended to is
+    indexed up to the last complete record, never through a torn tail —
+    and the stored fingerprint records that coverage, so the next call
+    dissects only what arrived since.
     """
     obs = obs or NULL_OBS
     metrics = obs.metrics
@@ -99,25 +226,43 @@ def load_or_build(
     index_path = sidecar_path(pcap_path)
 
     if use_cache and os.path.exists(index_path):
-        payload = _try_load(index_path, pcap_path, pipeline, obs)
+        payload = _load_payload(index_path, pipeline, obs)
         if payload is not None:
-            if cache_counter is not None:
-                cache_counter.inc_key(("hit",))
-            _count_rows(payload, metrics)
-            emit_stats_counters(payload.stats, obs)
-            if tracer.enabled:
-                tracer.emit(
-                    CAT_CAPSTORE,
-                    "index_hit",
-                    path=index_path,
-                    rows=payload.table.num_rows,
+            stored = payload.source
+            indexed = stored.get("indexed_bytes", stored.get("size"))
+            covers_whole_file = indexed == stored.get("size")
+            if covers_whole_file and fingerprint_matches(stored, pcap_path):
+                return _finish_hit(payload, index_path, indexed, obs, cache_counter)
+            if prefix_matches(stored, pcap_path):
+                tail_offsets, end = scan_pcap_tail(pcap_path, start=indexed)
+                if not tail_offsets:
+                    # Grown, but no *complete* new record yet (a writer is
+                    # mid-append): the prefix view is still the full truth.
+                    return _finish_hit(
+                        payload, index_path, indexed, obs, cache_counter
+                    )
+                return _extend(
+                    payload,
+                    pcap_path,
+                    index_path,
+                    tail_offsets,
+                    end,
+                    pipeline,
+                    validate_crypto_scans,
+                    obs,
+                    cache_counter,
                 )
-            return ClassifiedView(payload.table, payload.stats), True
         if cache_counter is not None:
             cache_counter.inc_key(("stale",))
 
     if cache_counter is not None:
         cache_counter.inc_key(("miss",))
+    # Snapshot the complete-record prefix *before* dissecting, so the
+    # stored fingerprint describes exactly the bytes that were indexed
+    # even if a writer appends concurrently.
+    offsets, end = scan_pcap_tail(pcap_path)
+    if not offsets and end > os.path.getsize(pcap_path):
+        raise PcapError("truncated pcap global header")
     with obs.span("index.build", local=True, path=pcap_path, workers=workers):
         if metrics is not None:
             with metrics.time_block("index.build"):
@@ -126,6 +271,7 @@ def load_or_build(
                     workers=workers,
                     validate_crypto_scans=validate_crypto_scans,
                     obs=obs,
+                    offsets=offsets,
                 )
         else:
             table, stats = build_capture_table(
@@ -133,6 +279,7 @@ def load_or_build(
                 workers=workers,
                 validate_crypto_scans=validate_crypto_scans,
                 obs=obs,
+                offsets=offsets,
             )
     payload = IndexPayload(table=table, stats=stats, source={}, pipeline=pipeline)
     _count_rows(payload, metrics)
@@ -145,26 +292,126 @@ def load_or_build(
             workers=workers,
         )
     if use_cache:
-        try:
-            dump_index(
-                index_path,
-                table,
-                stats,
-                source=pcap_fingerprint(pcap_path),
-                pipeline=pipeline,
-            )
-        except OSError as exc:  # read-only dir: analysis still proceeds
-            print(
-                "warning: could not write %s: %s" % (index_path, exc),
-                file=sys.stderr,
-            )
-    return ClassifiedView(table, stats), False
+        _write_sidecar(
+            index_path,
+            payload,
+            prefix_fingerprint(pcap_path, end, records=stats.total_records),
+        )
+    return CacheResult(ClassifiedView(table, stats), "miss", end)
 
 
-def _try_load(
-    index_path: str, pcap_path: str, pipeline: dict, obs: Observability
+def _finish_hit(
+    payload: IndexPayload,
+    index_path: str,
+    indexed: int,
+    obs: Observability,
+    cache_counter,
+) -> CacheResult:
+    if cache_counter is not None:
+        cache_counter.inc_key(("hit",))
+    _count_rows(payload, obs.metrics)
+    emit_stats_counters(payload.stats, obs)
+    if obs.tracer.enabled:
+        obs.tracer.emit(
+            CAT_CAPSTORE,
+            "index_hit",
+            path=index_path,
+            rows=payload.table.num_rows,
+        )
+    return CacheResult(
+        ClassifiedView(payload.table, payload.stats), "hit", indexed
+    )
+
+
+def _extend(
+    payload: IndexPayload,
+    pcap_path: str,
+    index_path: str,
+    tail_offsets: list,
+    end: int,
+    pipeline: dict,
+    validate_crypto_scans: bool,
+    obs: Observability,
+    cache_counter,
+) -> CacheResult:
+    """Dissect only the grown tail, appending into the cached table."""
+    metrics = obs.metrics
+    if cache_counter is not None:
+        cache_counter.inc_key(("extended",))
+    prefix_rows = payload.table.num_rows
+    # Counter parity with a full run: re-emit the prefix totals now, then
+    # let the per-record pipeline add the tail increments.
+    emit_stats_counters(payload.stats, obs)
+    tail_records = iter_pcap_range(pcap_path, tail_offsets[0], len(tail_offsets))
+    with obs.span(
+        "index.extend", local=True, path=pcap_path, records=len(tail_offsets)
+    ):
+        if metrics is not None:
+            with metrics.time_block("index.extend"):
+                build_from_records(
+                    tail_records,
+                    asdb=default_asdb(),
+                    acknowledged=default_acknowledged(),
+                    validate_crypto_scans=validate_crypto_scans,
+                    obs=obs,
+                    table=payload.table,
+                    stats=payload.stats,
+                )
+        else:
+            build_from_records(
+                tail_records,
+                asdb=default_asdb(),
+                acknowledged=default_acknowledged(),
+                validate_crypto_scans=validate_crypto_scans,
+                obs=obs,
+                table=payload.table,
+                stats=payload.stats,
+            )
+    _count_rows(payload, metrics)
+    if obs.tracer.enabled:
+        obs.tracer.emit(
+            CAT_CAPSTORE,
+            "index_extended",
+            path=index_path,
+            rows=payload.table.num_rows,
+            new_rows=payload.table.num_rows - prefix_rows,
+        )
+    _write_sidecar(
+        index_path,
+        payload,
+        prefix_fingerprint(pcap_path, end, records=payload.stats.total_records),
+    )
+    return CacheResult(
+        ClassifiedView(payload.table, payload.stats), "extended", end
+    )
+
+
+def _write_sidecar(index_path: str, payload: IndexPayload, source: dict) -> None:
+    payload.source = source
+    try:
+        dump_index(
+            index_path,
+            payload.table,
+            payload.stats,
+            source=source,
+            pipeline=payload.pipeline,
+        )
+    except OSError as exc:  # read-only dir: analysis still proceeds
+        print(
+            "warning: could not write %s: %s" % (index_path, exc),
+            file=sys.stderr,
+        )
+
+
+def _load_payload(
+    index_path: str, pipeline: dict, obs: Observability
 ) -> Optional[IndexPayload]:
-    """Load + validate a sidecar; None on any mismatch or corruption."""
+    """Load a sidecar + check pipeline identity; None on corruption/mismatch.
+
+    Source-fingerprint classification (hit / extend / stale) happens in
+    the caller, which needs the distinction; this helper only guarantees
+    the payload is intact and was built by the same pipeline.
+    """
     metrics = obs.metrics
     try:
         with obs.span("index.load", local=True, path=index_path):
@@ -176,8 +423,6 @@ def _try_load(
     except (CapIndexError, OSError):
         return None
     if payload.pipeline != pipeline:
-        return None
-    if not fingerprint_matches(payload.source, pcap_path):
         return None
     return payload
 

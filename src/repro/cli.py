@@ -13,10 +13,17 @@ The commands cover the toolchain end to end:
   simulated deployment (host-ID enumeration, LB-type inference,
   migration survival);
 * ``stats``    — pretty-print a metrics snapshot written by ``--metrics``,
-  or diff two snapshots (``--diff A.json B.json``);
+  diff two snapshots (``--diff A.json B.json``), or follow a snapshot
+  file as it is rewritten (``--follow SECONDS``);
 * ``trace``    — inspect JSONL traces (``trace summarize`` prints
   per-category counts and top event names; ``trace merge`` k-way-merges
-  per-worker span streams into one canonical timeline);
+  per-worker span streams into one canonical timeline; ``trace tail``
+  follows a growing trace like ``tail -f``);
+* ``live``     — follow a *growing* capture (single pcap or a
+  ``--no-merge`` shard set): poll the file, dissect only newly completed
+  records, refresh an online-analysis dashboard, publish ``stream.*``
+  Prometheus gauges, and print the batch-identical analysis once the
+  capture stops growing;
 * ``progress`` / ``top`` — render (or live-follow) the heartbeat files a
   running sharded simulate/index writes next to its output.
 
@@ -671,6 +678,113 @@ def render_analysis(capture, wanted: set) -> str:
     return "\n".join(parts)
 
 
+def cmd_live(args: argparse.Namespace) -> int:
+    """Follow growing capture(s), stream rows into the online analyses.
+
+    Each ``--interval`` seconds every capture is polled: newly completed
+    records are dissected and appended to the follower's table, the new
+    rows are fed to the :class:`~repro.stream.StreamAnalyses` reducers,
+    the ``stream.*`` gauges are (re)published, and the dashboard is
+    reprinted.  When no capture has produced a new record for
+    ``--exit-idle`` consecutive polls (or on Ctrl-C), the loop ends and
+    the *batch* analysis is rendered from the accumulated table — for a
+    single pcap that output is byte-for-byte what ``repro analyze``
+    prints, because the table is the same; for a shard set a fresh
+    ``build_from_shards`` pass reproduces the merged-order table first.
+    """
+    from repro.stream import PcapFollower, StreamAnalyses, render_dashboard
+
+    wanted = _validate_tables(args.tables)
+    obs = _make_obs(args, force_metrics=True)
+    followers = [
+        PcapFollower(path, obs=obs, use_cache=not args.no_cache)
+        for path in args.pcap
+    ]
+    analyses = StreamAnalyses()
+    fed = [0] * len(followers)
+    seen_resets = [0] * len(followers)
+    writer = (
+        PromFileWriter(obs.metrics, args.prom_file)
+        if getattr(args, "prom_file", None)
+        else None
+    )
+    server = None
+    if getattr(args, "prom_port", None) is not None:
+        server = start_http_exporter(obs.metrics, port=args.prom_port)
+        print("Serving live metrics at %s" % server.url)
+    polls = 0
+    idle = 0
+    try:
+        while True:
+            new_rows = 0
+            for i, follower in enumerate(followers):
+                follower.poll()
+                if follower.resets != seen_resets[i]:
+                    # A capture shrank (fresh run reusing the path): all
+                    # fed-row cursors are void, so rebuild the reducers
+                    # from every follower's current table.
+                    print(
+                        "note: %s was rewritten; restarting online analyses"
+                        % follower.path,
+                        file=sys.stderr,
+                    )
+                    seen_resets = [f.resets for f in followers]
+                    analyses = StreamAnalyses()
+                    fed = [0] * len(followers)
+                if follower.num_rows > fed[i]:
+                    analyses.feed(follower.table, fed[i], follower.num_rows)
+                    new_rows += follower.num_rows - fed[i]
+                    fed[i] = follower.num_rows
+            polls += 1
+            analyses.publish(obs.metrics)
+            if writer is not None:
+                writer.write()
+            if not args.quiet:
+                print(render_dashboard(followers, analyses, polls))
+                print()
+            idle = idle + 1 if new_rows == 0 else 0
+            if args.exit_idle and idle >= args.exit_idle:
+                break
+            _wall.sleep(args.interval)
+    except KeyboardInterrupt:
+        print("interrupted; rendering final analysis", file=sys.stderr)
+    finally:
+        for follower in followers:
+            follower.finish()
+        if server is not None:
+            server.close()
+        if writer is not None:
+            writer.write()
+        _finish_obs(args, obs)
+    if len(args.pcap) > 1:
+        missing = [path for path in args.pcap if not os.path.exists(path)]
+        if missing:
+            print(
+                "repro live: shard pcap(s) never appeared: %s"
+                % ", ".join(missing),
+                file=sys.stderr,
+            )
+            return 1
+        # Re-index the shard set in merged record order so the final
+        # render matches `repro analyze shard1 shard2 …` byte for byte.
+        from repro.capstore import ClassifiedView
+        from repro.capstore.build import build_from_shards
+
+        table, stats = build_from_shards(args.pcap)
+        view = ClassifiedView(table, stats)
+    else:
+        follower = followers[0]
+        if not follower.started:
+            print(
+                "repro live: %s: no capture appeared" % args.pcap[0],
+                file=sys.stderr,
+            )
+            return 1
+        view = follower.view()
+    print(render_analysis(view, wanted))
+    return 0
+
+
 def cmd_index(args: argparse.Namespace) -> int:
     """Prebuild or inspect the ``.capidx`` sidecar for a pcap."""
     if len(args.pcap) > 1:
@@ -870,13 +984,12 @@ def _load_snapshot_or_exit(path: str) -> dict:
         raise SystemExit("repro stats: %s: %s" % (path, exc.strerror or exc))
 
 
-def cmd_stats_diff(path_a: str, path_b: str) -> int:
-    """Per-metric deltas between two ``--metrics`` snapshots (B minus A)."""
-    flat_a = _flatten_snapshot(_load_snapshot_or_exit(path_a))
-    flat_b = _flatten_snapshot(_load_snapshot_or_exit(path_b))
-    if not flat_a and not flat_b:
-        print("neither file contains metrics sections (not --metrics snapshots?)")
-        return 1
+def _diff_rows(flat_a: dict, flat_b: dict) -> tuple[list, int]:
+    """Delta table rows between two flattened snapshots (B minus A).
+
+    Returns ``(rows, unchanged)`` — shared by ``stats --diff`` and the
+    per-update delta rendering of ``stats --follow``.
+    """
     rows = []
     unchanged = 0
     for key in sorted(set(flat_a) | set(flat_b)):
@@ -905,6 +1018,17 @@ def cmd_stats_diff(path_a: str, path_b: str) -> int:
                 change,
             ]
         )
+    return rows, unchanged
+
+
+def cmd_stats_diff(path_a: str, path_b: str) -> int:
+    """Per-metric deltas between two ``--metrics`` snapshots (B minus A)."""
+    flat_a = _flatten_snapshot(_load_snapshot_or_exit(path_a))
+    flat_b = _flatten_snapshot(_load_snapshot_or_exit(path_b))
+    if not flat_a and not flat_b:
+        print("neither file contains metrics sections (not --metrics snapshots?)")
+        return 1
+    rows, unchanged = _diff_rows(flat_a, flat_b)
     if rows:
         print(
             render_table(
@@ -924,6 +1048,8 @@ def cmd_stats(args: argparse.Namespace) -> int:
     if not args.metrics_file:
         print("repro stats: give a snapshot file, or --diff A.json B.json")
         return 2
+    if getattr(args, "follow", None):
+        return _stats_follow(args)
     snapshot = _load_snapshot_or_exit(args.metrics_file)
     if not any(
         snapshot.get(section)
@@ -932,6 +1058,58 @@ def cmd_stats(args: argparse.Namespace) -> int:
         print("%s: no metrics sections found (not a --metrics snapshot?)"
               % args.metrics_file)
         return 1
+    _print_snapshot(snapshot)
+    return 0
+
+
+def _stats_follow(args: argparse.Namespace) -> int:
+    """``stats --follow``: re-render whenever the snapshot file changes.
+
+    A thin consumer of the streaming plane's tail machinery
+    (:class:`~repro.stream.tail.SnapshotTail`): the first load prints the
+    full snapshot, later loads print only the per-metric deltas against
+    the previous one.  ``--updates N`` bounds the number of loads (for
+    scripting and tests); the default 0 follows until interrupted.
+    """
+    from repro.stream.tail import SnapshotTail
+
+    tail = SnapshotTail(args.metrics_file)
+    previous = None
+    shown = 0
+    announced = False
+    try:
+        while True:
+            snapshot = tail.poll()
+            if snapshot is not None:
+                flat = _flatten_snapshot(snapshot)
+                if previous is None:
+                    _print_snapshot(snapshot)
+                else:
+                    rows, unchanged = _diff_rows(previous, flat)
+                    if rows:
+                        print(
+                            render_table(
+                                ["metric", "labels", "A", "B", "delta", "change"],
+                                rows,
+                                title="Changes in %s" % args.metrics_file,
+                            )
+                        )
+                    print("%d changed, %d unchanged" % (len(rows), unchanged))
+                previous = flat
+                shown += 1
+                if args.updates and shown >= args.updates:
+                    return 0
+                print()
+            elif previous is None and not announced:
+                print("waiting for %s…" % args.metrics_file, file=sys.stderr)
+                announced = True
+            _wall.sleep(args.follow)
+    except KeyboardInterrupt:
+        return 0
+
+
+def _print_snapshot(snapshot: dict) -> None:
+    """Render every section of one metrics snapshot to stdout."""
 
     def label_text(names, key):
         if not names:
@@ -976,7 +1154,6 @@ def cmd_stats(args: argparse.Namespace) -> int:
                 )
             )
             print()
-    return 0
 
 
 def cmd_trace_summarize(args: argparse.Namespace) -> int:
@@ -1075,18 +1252,93 @@ def cmd_trace_merge(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_trace_tail(args: argparse.Namespace) -> int:
+    """Follow a growing JSONL trace: ``tail -f`` with torn-line safety.
+
+    Events appended since the previous poll print as one line each —
+    ``--raw`` passes the JSON through compactly, the default formats
+    ``time category:name data``.  A partial trailing line (the writer
+    caught mid-record) is buffered until complete; a truncated file is
+    treated as rotated and followed from the start.  ``--exit-idle N``
+    stops after N polls without new events (0 = follow until Ctrl-C).
+    """
+    from repro.stream import JsonlTail
+
+    tail = JsonlTail(args.trace_file)
+    announced = False
+    reported_bad = 0
+    reported_resets = 0
+    idle = 0
+    try:
+        while True:
+            events = tail.poll()
+            if tail.resets > reported_resets:
+                reported_resets = tail.resets
+                print(
+                    "note: %s was truncated; following from the start"
+                    % args.trace_file,
+                    file=sys.stderr,
+                )
+            for event in events:
+                if args.raw:
+                    print(json.dumps(event, separators=(",", ":")))
+                else:
+                    print(
+                        "%12.6f %s:%s %s"
+                        % (
+                            event.get("time", 0.0),
+                            event.get("category", "?"),
+                            event.get("name", "?"),
+                            json.dumps(
+                                event.get("data", {}), separators=(",", ":")
+                            ),
+                        )
+                    )
+            if tail.bad_lines > reported_bad:
+                print(
+                    "note: skipped %d malformed line(s) in %s"
+                    % (tail.bad_lines - reported_bad, args.trace_file),
+                    file=sys.stderr,
+                )
+                reported_bad = tail.bad_lines
+            if events:
+                idle = 0
+            else:
+                if tail.offset == 0 and not announced:
+                    print(
+                        "waiting for %s…" % args.trace_file, file=sys.stderr
+                    )
+                    announced = True
+                idle += 1
+                if args.exit_idle and idle >= args.exit_idle:
+                    return 0
+            _wall.sleep(args.interval)
+    except KeyboardInterrupt:
+        return 0
+
+
 def cmd_progress(args: argparse.Namespace) -> int:
     """Render (or follow) the heartbeat table of a sharded run.
 
     ``target`` is either the progress directory itself or the simulate
     output path (heartbeats live in ``<output>.progress/``).  In follow
     mode the table reprints every ``--interval`` seconds until every
-    worker reports done.
+    worker reports done.  A heartbeat that disappears (or is caught
+    mid-write) between the directory listing and the read — routine when
+    a finishing run cleans up under a live ``repro top`` — is skipped
+    with a one-line stderr note rather than failing the table.
     """
     directory = resolve_progress_dir(args.target)
     while True:
-        beats = read_heartbeats(directory)
+        skipped: list[str] = []
+        beats = read_heartbeats(directory, skipped=skipped)
         print(render_progress(beats))
+        if skipped:
+            print(
+                "note: skipped %d unreadable heartbeat(s): %s"
+                % (len(skipped), ", ".join(skipped)),
+                file=sys.stderr,
+            )
         if not args.follow:
             return 0 if beats else 1
         if beats and aggregate(beats)["running"] == 0:
@@ -1181,6 +1433,53 @@ def build_parser() -> argparse.ArgumentParser:
     _add_obs_flags(analyze)
     analyze.set_defaults(func=cmd_analyze)
 
+    live = sub.add_parser(
+        "live",
+        help="follow a growing capture: online analyses, live dashboard, "
+        "Prometheus gauges, batch-identical final render",
+    )
+    live.add_argument(
+        "pcap",
+        nargs="+",
+        help="capture(s) to follow; several paths are treated as a "
+        "--no-merge shard set and followed in parallel",
+    )
+    live.add_argument(
+        "--interval",
+        type=float,
+        default=1.0,
+        metavar="SECONDS",
+        help="seconds between polls of the capture file(s) (default: 1)",
+    )
+    live.add_argument(
+        "--exit-idle",
+        type=int,
+        default=3,
+        metavar="N",
+        help="stop once N consecutive polls saw no new records, then print "
+        "the final batch analysis (default: 3; 0 = follow until Ctrl-C)",
+    )
+    live.add_argument(
+        "--tables",
+        nargs="*",
+        metavar="NAME",
+        help="which outputs the final render prints: %s (default: 1 2 3 4)"
+        % " ".join(VALID_TABLES),
+    )
+    live.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="do not seed from or persist the .capidx sidecar index",
+    )
+    live.add_argument(
+        "--quiet",
+        action="store_true",
+        help="skip the per-poll dashboard; print only the final analysis",
+    )
+    _add_obs_flags(live)
+    _add_prom_flags(live)
+    live.set_defaults(func=cmd_live)
+
     index = sub.add_parser(
         "index", help="prebuild or inspect the .capidx analysis index"
     )
@@ -1235,6 +1534,22 @@ def build_parser() -> argparse.ArgumentParser:
         metavar=("A.json", "B.json"),
         help="print per-metric deltas (and %% change) between two snapshots",
     )
+    stats.add_argument(
+        "--follow",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="re-render whenever the snapshot file changes, polling every "
+        "SECONDS; the first load prints the full snapshot, later loads "
+        "print deltas",
+    )
+    stats.add_argument(
+        "--updates",
+        type=int,
+        default=0,
+        metavar="N",
+        help="with --follow: exit after N snapshot loads (0 = until Ctrl-C)",
+    )
     stats.set_defaults(func=cmd_stats)
 
     trace = sub.add_parser("trace", help="inspect qlog-style JSONL traces")
@@ -1257,6 +1572,31 @@ def build_parser() -> argparse.ArgumentParser:
         "inputs", nargs="+", help="per-worker traces (FILE.worker<k>)"
     )
     merge.set_defaults(func=cmd_trace_merge)
+    tail = trace_sub.add_parser(
+        "tail",
+        help="follow a growing JSONL trace (tail -f with torn-line safety)",
+    )
+    tail.add_argument("trace_file", help="JSONL trace being written by --trace")
+    tail.add_argument(
+        "--interval",
+        type=float,
+        default=0.5,
+        metavar="SECONDS",
+        help="seconds between polls (default: 0.5)",
+    )
+    tail.add_argument(
+        "--exit-idle",
+        type=int,
+        default=0,
+        metavar="N",
+        help="stop after N polls without new events (0 = until Ctrl-C)",
+    )
+    tail.add_argument(
+        "--raw",
+        action="store_true",
+        help="print events as compact JSON instead of formatted lines",
+    )
+    tail.set_defaults(func=cmd_trace_tail)
 
     progress = sub.add_parser(
         "progress", help="render the heartbeat table of a sharded run"

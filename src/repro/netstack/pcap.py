@@ -23,6 +23,10 @@ LINKTYPE_RAW = 101  # packets start with the IPv4/IPv6 header
 _GLOBAL_HEADER = struct.Struct("<IHHiIII")
 _RECORD_HEADER = struct.Struct("<IIII")
 
+#: Size of the pcap global header — the first record boundary.  Streaming
+#: readers treat a file shorter than this as "not started yet".
+GLOBAL_HEADER_SIZE = _GLOBAL_HEADER.size
+
 
 class PcapError(ValueError):
     """Raised on malformed pcap files."""
@@ -190,6 +194,49 @@ def scan_pcap_offsets(path: str) -> list[int]:
             offsets.append(pos)
             pos += record_struct.size + incl_len
     return offsets
+
+
+def scan_pcap_tail(path: str, start: int = _GLOBAL_HEADER.size) -> tuple[list[int], int]:
+    """Offsets of the *complete* records from byte ``start`` to EOF.
+
+    The streaming twin of :func:`scan_pcap_offsets`: instead of raising on
+    a truncated record it stops in front of it, returning ``(offsets,
+    end)`` where ``end`` is the byte offset one past the last complete
+    record.  A live capture being appended to by another process always
+    has a well-defined complete prefix — a reader that only consumes up to
+    ``end`` can never observe a torn packet record, and the next poll
+    resumes at ``end`` once the writer has finished the record.
+
+    ``start`` must point at a record boundary (typically the ``end`` of a
+    previous scan, or the position after the global header).
+    """
+    offsets: list[int] = []
+    with open(path, "rb") as fileobj:
+        head = fileobj.read(_GLOBAL_HEADER.size)
+        if len(head) < _GLOBAL_HEADER.size:
+            return [], start  # global header itself still being written
+        magic = struct.unpack("<I", head[:4])[0]
+        if magic == MAGIC:
+            endian = "<"
+        elif magic == MAGIC_SWAPPED:
+            endian = ">"
+        else:
+            raise PcapError("bad pcap magic 0x%08x" % magic)
+        record_struct = struct.Struct(endian + "IIII")
+        fileobj.seek(0, 2)
+        file_end = fileobj.tell()
+        pos = max(start, _GLOBAL_HEADER.size)
+        while pos < file_end:
+            fileobj.seek(pos)
+            header = fileobj.read(record_struct.size)
+            if len(header) < record_struct.size:
+                break  # torn record header: the writer is mid-append
+            _sec, _usec, incl_len, _orig = record_struct.unpack(header)
+            if pos + record_struct.size + incl_len > file_end:
+                break  # torn record body
+            offsets.append(pos)
+            pos += record_struct.size + incl_len
+    return offsets, pos
 
 
 def record_sort_key(record: PcapRecord) -> tuple:

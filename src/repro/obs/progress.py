@@ -125,19 +125,28 @@ def clean_progress_dir(directory: str) -> None:
             pass
 
 
-def read_heartbeats(directory: str) -> List[dict]:
+def read_heartbeats(
+    directory: str, skipped: Optional[List[str]] = None
+) -> List[dict]:
     """All readable heartbeats in ``directory``, sorted by worker index.
 
-    Tolerant by design: a heartbeat mid-replace or from a crashed worker
-    parses either fully or not at all (atomic rename); unreadable files
-    are skipped rather than failing the whole table.
+    Tolerant by design: a heartbeat deleted between the directory listing
+    and the read (a finishing run cleaning up under a live ``repro top``),
+    mid-replace, or containing garbage bytes is skipped rather than
+    failing the whole table.  ``ValueError`` covers both malformed JSON
+    and non-UTF-8 content (``UnicodeDecodeError``), neither of which a
+    renderer polling someone else's files can prevent.  ``skipped``, if
+    given, collects the basenames of files that were passed over so the
+    caller can surface a one-line note.
     """
     beats = []
     for path in sorted(glob.glob(os.path.join(directory, "*" + HEARTBEAT_SUFFIX))):
         try:
             with open(path) as fileobj:
                 doc = json.load(fileobj)
-        except (OSError, json.JSONDecodeError):
+        except (OSError, ValueError):
+            if skipped is not None:
+                skipped.append(os.path.basename(path))
             continue
         if isinstance(doc, dict):
             beats.append(doc)

@@ -7,16 +7,30 @@ import pytest
 from repro.capstore import (
     fingerprint_matches,
     load_or_build,
+    load_or_build_ex,
     pcap_fingerprint,
+    prefix_fingerprint,
+    prefix_matches,
     sidecar_path,
 )
 from repro.cli import main
+from repro.netstack.pcap import scan_pcap_offsets
 from repro.obs import Observability
 from repro.obs.metrics import MetricsRegistry
 
 
 def _obs():
     return Observability(metrics=MetricsRegistry())
+
+
+def _truncate_at_record(path: str, fraction: float) -> bytes:
+    """Cut ``path`` at a record boundary; returns the removed tail bytes."""
+    offsets = scan_pcap_offsets(path)
+    cut = offsets[int(len(offsets) * fraction)]
+    data = open(path, "rb").read()
+    with open(path, "wb") as fileobj:
+        fileobj.write(data[:cut])
+    return data[cut:]
 
 
 class TestLoadOrBuild:
@@ -118,6 +132,148 @@ class TestObservability:
         cold = cold_obs.metrics.snapshot()["counters"]["sanitize.packets"]["values"]
         warm = warm_obs.metrics.snapshot()["counters"]["sanitize.packets"]["values"]
         assert warm == cold
+
+
+class TestIncrementalIndex:
+    """A grown pcap extends its index; anything else rebuilds cleanly."""
+
+    def test_grown_pcap_extends_and_matches_full_build(self, pcap_copy):
+        tail = _truncate_at_record(pcap_copy, 0.8)
+        first = load_or_build_ex(pcap_copy)
+        assert first.status == "miss"
+        prefix_rows = first.view.table.num_rows
+        with open(pcap_copy, "ab") as fileobj:
+            fileobj.write(tail)
+        obs = _obs()
+        extended = load_or_build_ex(pcap_copy, obs=obs)
+        assert extended.status == "extended"
+        assert extended.view.table.num_rows > prefix_rows
+        values = obs.metrics.snapshot()["counters"]["capstore.cache"]["values"]
+        assert values == {"extended": 1}
+        assert "index.extend" in obs.metrics.snapshot()["timers"]
+        # the extended table is exactly what a cold full build produces
+        full = load_or_build_ex(pcap_copy, use_cache=False)
+        assert extended.view.table == full.view.table
+        assert extended.view.stats == full.view.stats
+        # and the rewritten sidecar is a plain hit afterwards
+        third = load_or_build_ex(pcap_copy)
+        assert third.status == "hit"
+        assert third.indexed_bytes == os.path.getsize(pcap_copy)
+
+    def test_extension_emits_full_run_counters(self, pcap_copy):
+        tail = _truncate_at_record(pcap_copy, 0.7)
+        load_or_build_ex(pcap_copy)
+        with open(pcap_copy, "ab") as fileobj:
+            fileobj.write(tail)
+        warm_obs = _obs()
+        load_or_build_ex(pcap_copy, obs=warm_obs)
+        cold_obs = _obs()
+        load_or_build_ex(pcap_copy, obs=cold_obs, use_cache=False)
+        warm = warm_obs.metrics.snapshot()["counters"]["sanitize.packets"]["values"]
+        cold = cold_obs.metrics.snapshot()["counters"]["sanitize.packets"]["values"]
+        assert warm == cold
+
+    def test_torn_tail_is_still_a_hit(self, pcap_copy):
+        result = load_or_build_ex(pcap_copy)
+        size = os.path.getsize(pcap_copy)
+        with open(pcap_copy, "ab") as fileobj:
+            fileobj.write(b"\x01\x02\x03\x04\x05\x06\x07\x08\x09")
+        again = load_or_build_ex(pcap_copy)
+        assert again.status == "hit"
+        assert again.indexed_bytes == size
+        assert again.view.table == result.view.table
+
+    def test_truncated_below_prefix_rebuilds(self, pcap_copy):
+        load_or_build_ex(pcap_copy)
+        _truncate_at_record(pcap_copy, 0.5)
+        obs = _obs()
+        rebuilt = load_or_build_ex(pcap_copy, obs=obs)
+        assert rebuilt.status == "miss"
+        values = obs.metrics.snapshot()["counters"]["capstore.cache"]["values"]
+        assert values == {"stale": 1, "miss": 1}
+        full = load_or_build_ex(pcap_copy, use_cache=False)
+        assert rebuilt.view.table == full.view.table
+
+    def test_rewritten_prefix_rebuilds(self, pcap_copy):
+        load_or_build_ex(pcap_copy)
+        # flip bytes inside the indexed prefix without changing the size
+        with open(pcap_copy, "r+b") as fileobj:
+            fileobj.seek(64)
+            chunk = fileobj.read(32)
+            fileobj.seek(64)
+            fileobj.write(bytes(byte ^ 0xFF for byte in chunk))
+        # force the mtime past the stored stamp so the (size, mtime) fast
+        # path cannot mask the content change on coarse-clock filesystems
+        stat = os.stat(pcap_copy)
+        os.utime(pcap_copy, ns=(stat.st_atime_ns, stat.st_mtime_ns + 10**9))
+        result = load_or_build_ex(pcap_copy)
+        assert result.status == "miss"
+
+    def test_concurrent_writer_extension_reads_no_torn_record(self, pcap_copy):
+        """A tail cut mid-record is absorbed only once completed."""
+        tail = _truncate_at_record(pcap_copy, 0.8)
+        load_or_build_ex(pcap_copy)
+        # the writer lands half a record: grown, but nothing complete
+        with open(pcap_copy, "ab") as fileobj:
+            fileobj.write(tail[:7])
+        partial = load_or_build_ex(pcap_copy)
+        assert partial.status == "hit"
+        assert partial.indexed_bytes == os.path.getsize(pcap_copy) - 7
+        # the writer finishes: exactly the remaining records are absorbed
+        with open(pcap_copy, "ab") as fileobj:
+            fileobj.write(tail[7:])
+        extended = load_or_build_ex(pcap_copy)
+        assert extended.status == "extended"
+        full = load_or_build_ex(pcap_copy, use_cache=False)
+        assert extended.view.table == full.view.table
+
+    def test_no_cache_ignores_extension_path(self, pcap_copy):
+        tail = _truncate_at_record(pcap_copy, 0.8)
+        load_or_build_ex(pcap_copy)
+        with open(pcap_copy, "ab") as fileobj:
+            fileobj.write(tail)
+        result = load_or_build_ex(pcap_copy, use_cache=False)
+        assert result.status == "miss"
+
+
+class TestPrefixFingerprint:
+    def test_prefix_fields_extend_the_base_fingerprint(self, pcap_copy):
+        size = os.path.getsize(pcap_copy)
+        fingerprint = prefix_fingerprint(pcap_copy, size, records=10)
+        assert fingerprint["size"] == size
+        assert fingerprint["indexed_bytes"] == size
+        assert fingerprint["records"] == 10
+        # covering the whole file, prefix and full hash agree
+        assert fingerprint["prefix_blake2b"] == fingerprint["blake2b"]
+        assert fingerprint["blake2b"] == pcap_fingerprint(pcap_copy)["blake2b"]
+
+    def test_prefix_matches_after_growth(self, pcap_copy):
+        size = os.path.getsize(pcap_copy)
+        stored = prefix_fingerprint(pcap_copy, size)
+        with open(pcap_copy, "ab") as fileobj:
+            fileobj.write(b"\x00" * 40)
+        assert prefix_matches(stored, pcap_copy)
+        assert not fingerprint_matches(stored, pcap_copy)
+
+    def test_prefix_rejects_truncation(self, pcap_copy):
+        stored = prefix_fingerprint(pcap_copy, os.path.getsize(pcap_copy))
+        _truncate_at_record(pcap_copy, 0.5)
+        assert not prefix_matches(stored, pcap_copy)
+
+    def test_legacy_fingerprint_acts_as_whole_file_prefix(self, pcap_copy):
+        cut = scan_pcap_offsets(pcap_copy)[-1]
+        stored = pcap_fingerprint(pcap_copy)  # no prefix fields
+        assert prefix_matches(stored, pcap_copy)
+        data = open(pcap_copy, "rb").read()
+        with open(pcap_copy, "ab") as fileobj:
+            fileobj.write(b"\x00" * 12)
+        assert prefix_matches(stored, pcap_copy)
+        with open(pcap_copy, "wb") as fileobj:
+            fileobj.write(data[:cut])
+        assert not prefix_matches(stored, pcap_copy)
+
+    def test_empty_fingerprint_never_prefix_matches(self, month_pcap):
+        assert not prefix_matches({}, month_pcap)
 
 
 class TestFingerprint:

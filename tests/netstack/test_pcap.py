@@ -7,14 +7,18 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.netstack.pcap import (
+    GLOBAL_HEADER_SIZE,
     LINKTYPE_RAW,
     PcapError,
     PcapReader,
     PcapRecord,
     PcapWriter,
+    iter_pcap_range,
     merge_pcap_files,
     read_pcap,
     record_sort_key,
+    scan_pcap_offsets,
+    scan_pcap_tail,
     write_pcap,
 )
 
@@ -93,6 +97,73 @@ class TestErrors:
         data = buf.getvalue()[:-2]
         with pytest.raises(PcapError):
             list(PcapReader(io.BytesIO(data)))
+
+
+class TestScanTail:
+    """The tolerant twin of scan_pcap_offsets for live captures."""
+
+    def write(self, tmp_path, records):
+        path = str(tmp_path / "live.pcap")
+        write_pcap(path, records)
+        return path
+
+    def records(self, count=4):
+        return [PcapRecord(float(i), bytes([i]) * (i + 3)) for i in range(count)]
+
+    def test_complete_file_matches_strict_scan(self, tmp_path):
+        path = self.write(tmp_path, self.records())
+        offsets, end = scan_pcap_tail(path)
+        assert offsets == scan_pcap_offsets(path)
+        import os
+
+        assert end == os.path.getsize(path)
+
+    def test_torn_record_header_stops_before_it(self, tmp_path):
+        path = self.write(tmp_path, self.records())
+        complete = scan_pcap_offsets(path)
+        with open(path, "ab") as fileobj:
+            fileobj.write(b"\x01\x02\x03")  # 3 of 16 header bytes
+        offsets, end = scan_pcap_tail(path)
+        assert offsets == complete
+        # a reader bounded by ``end`` never sees the torn bytes
+        tail = list(iter_pcap_range(path, offsets[-1], 1))
+        assert tail[0].data == self.records()[-1].data
+
+    def test_torn_record_body_stops_before_it(self, tmp_path):
+        records = self.records()
+        path = self.write(tmp_path, records)
+        data = open(path, "rb").read()
+        open(path, "wb").write(data[:-2])  # last body short by 2 bytes
+        offsets, _end = scan_pcap_tail(path)
+        assert len(offsets) == len(records) - 1
+
+    def test_resume_from_previous_end(self, tmp_path):
+        records = self.records(6)
+        path = self.write(tmp_path, records[:3])
+        first, end = scan_pcap_tail(path)
+        assert len(first) == 3
+        with open(path, "ab") as fileobj:
+            buf = io.BytesIO()
+            writer = PcapWriter(buf)
+            for record in records[3:]:
+                writer.write(record)
+            fileobj.write(buf.getvalue()[GLOBAL_HEADER_SIZE:])
+        tail, new_end = scan_pcap_tail(path, start=end)
+        assert len(tail) == 3
+        assert tail[0] == end
+        assert new_end > end
+
+    def test_incomplete_global_header_waits(self, tmp_path):
+        path = str(tmp_path / "starting.pcap")
+        open(path, "wb").write(b"\xd4\xc3")
+        offsets, end = scan_pcap_tail(path)
+        assert offsets == [] and end == GLOBAL_HEADER_SIZE
+
+    def test_bad_magic_still_raises(self, tmp_path):
+        path = str(tmp_path / "bad.pcap")
+        open(path, "wb").write(b"\x00" * 48)
+        with pytest.raises(PcapError):
+            scan_pcap_tail(path)
 
 
 class TestMerge:

@@ -115,6 +115,35 @@ class TestReaders:
         beats = read_heartbeats(directory)
         assert [beat["worker"] for beat in beats] == [1]
 
+    def test_skipped_collects_unreadable_basenames(self, tmp_path):
+        directory = str(tmp_path)
+        HeartbeatWriter(directory, worker=1, min_interval=0.0).update("run")
+        with open(os.path.join(directory, "worker8.hb.json"), "wb") as fileobj:
+            fileobj.write(b"\xff\xfe not utf-8 \x00")
+        with open(os.path.join(directory, "worker9.hb.json"), "w") as fileobj:
+            fileobj.write("{torn")
+        skipped: list = []
+        beats = read_heartbeats(directory, skipped=skipped)
+        assert [beat["worker"] for beat in beats] == [1]
+        assert sorted(skipped) == ["worker8.hb.json", "worker9.hb.json"]
+
+    def test_cli_progress_notes_skipped_heartbeats(self, tmp_path, capsys):
+        from repro.cli import main
+
+        directory = str(tmp_path / "run.pcap.progress")
+        os.makedirs(directory)
+        HeartbeatWriter(directory, worker=0, min_interval=0.0).update(
+            "done", done=1.0, final=True
+        )
+        with open(os.path.join(directory, "worker7.hb.json"), "w") as fileobj:
+            fileobj.write("{caught mid-write")
+        assert main(["progress", directory]) == 0
+        captured = capsys.readouterr()
+        assert "worker" in captured.out  # the table still renders
+        assert "skipped 1 unreadable heartbeat(s): worker7.hb.json" in (
+            captured.err
+        )
+
     def test_clean_progress_dir(self, tmp_path):
         directory = str(tmp_path)
         HeartbeatWriter(directory, worker=0, min_interval=0.0).update("run")

@@ -1,0 +1,160 @@
+"""Online reducers agree exactly with their batch counterparts.
+
+Every test feeds the same columnar table the batch plane analyzes —
+in deliberately uneven batches — and asserts the reducer state equals
+the ``repro.core`` function computed over the whole capture at once.
+"""
+
+import pytest
+
+from repro.core.packet_mix import packet_mix
+from repro.core.offnet import extract_features
+from repro.core.scid_entropy import nybble_matrix
+from repro.core.scid_stats import scids_by_origin
+from repro.core.versions import table2
+from repro.obs.metrics import MetricsRegistry
+from repro.stream import StreamAnalyses
+from repro.stream.reducers import ScidAccumulator
+
+
+def feed_unevenly(table):
+    """One StreamAnalyses fed the full table in ragged batch sizes."""
+    analyses = StreamAnalyses()
+    sizes = [1, 7, 50, 3, 211, 19]
+    start = 0
+    step = 0
+    while start < table.num_rows:
+        end = min(start + sizes[step % len(sizes)], table.num_rows)
+        analyses.feed(table, start, end)
+        start = end
+        step += 1
+    return analyses
+
+
+@pytest.fixture(scope="module")
+def analyses(batch_view):
+    return feed_unevenly(batch_view.table)
+
+
+class TestScidAccumulator:
+    def test_matrix_matches_batch_nybble_matrix(self):
+        scids = [b"\x12\x34", b"\xab\xcd", b"\x12\x34", b"\x00\xff\x10"]
+        accumulator = ScidAccumulator()
+        added = [accumulator.add(s) for s in scids]
+        assert added == [True, True, False, True]
+        batch = nybble_matrix(set(scids))
+        online = accumulator.matrix()
+        assert online.freq == batch.freq
+        assert online.sample_size == batch.sample_size
+        assert online.position_totals == batch.position_totals
+
+    def test_dominant_length(self):
+        accumulator = ScidAccumulator()
+        assert accumulator.dominant_length is None
+        for scid in (b"\x01" * 8, b"\x02" * 8, b"\x03" * 4):
+            accumulator.add(scid)
+        assert accumulator.dominant_length == 8
+
+
+class TestBatchParity:
+    def test_rows_per_class(self, analyses, batch_view):
+        assert analyses.rows["backscatter"] == len(batch_view.backscatter)
+        assert analyses.rows["scan"] == len(batch_view.scans)
+        assert analyses.rows_fed == batch_view.table.num_rows
+
+    def test_version_mix_equals_table2(self, analyses, batch_view):
+        shares = table2(batch_view)
+        for code, side in ((1, "clients"), (0, "servers")):
+            assert analyses.session_buckets[code] == shares[side].counts
+            assert len(analyses._session_keys[code]) == shares[side].total
+
+    def test_packet_mix_equals_table3(self, analyses, batch_view):
+        batch = packet_mix(batch_view.backscatter + batch_view.scans)
+        assert {o: dict(c) for o, c in analyses.packet_mix.items()} == {
+            o: dict(c) for o, c in batch.counts.items()
+        }
+
+    def test_scids_equal_table4_populations(self, analyses, batch_view):
+        batch = scids_by_origin(batch_view.backscatter)
+        assert {o: a.scids for o, a in analyses.scids.items()} == batch
+        for origin, scids in batch.items():
+            online = analyses.matrix(origin)
+            reference = nybble_matrix(scids)
+            assert online.freq == reference.freq
+            assert online.sample_size == reference.sample_size
+            assert online.position_totals == reference.position_totals
+
+    def test_offnet_counts_equal_extract_features(self, analyses, batch_view):
+        features = extract_features(batch_view.backscatter)
+        servers, low = analyses.offnet_counts()
+        assert servers == len(features)
+        assert low == sum(1 for f in features.values() if f.low_host_id())
+        assert low > 0  # the scenario plants off-net caches; keep it honest
+
+    def test_batching_is_irrelevant(self, analyses, batch_view):
+        whole = StreamAnalyses()
+        whole.feed(batch_view.table, 0, batch_view.table.num_rows)
+        assert whole.snapshot() == analyses.snapshot()
+
+    def test_span_covers_the_capture(self, analyses, batch_view):
+        ts = batch_view.table.ts
+        assert analyses.span_seconds == pytest.approx(max(ts) - min(ts))
+
+
+class TestSnapshotAndPublish:
+    def test_empty_reducers_are_safe(self):
+        analyses = StreamAnalyses()
+        snap = analyses.snapshot()
+        assert snap["rows_fed"] == 0
+        assert snap["sessions"]["clients"]["total"] == 0
+        assert snap["span_seconds"] == 0.0
+        analyses.publish(MetricsRegistry())  # no instruments needed: no-op
+        analyses.publish(None)
+
+    def test_snapshot_shape(self, analyses):
+        snap = analyses.snapshot()
+        assert set(snap) == {
+            "rows",
+            "rows_fed",
+            "sessions",
+            "packet_mix",
+            "scids",
+            "offnet",
+            "span_seconds",
+            "rows_per_sec",
+        }
+        for origin, entry in snap["scids"].items():
+            assert set(entry) == {
+                "unique",
+                "lengths",
+                "dominant_length",
+                "structured",
+                "max_chi2",
+            }
+            assert entry["unique"] == sum(entry["lengths"].values())
+
+    def test_publish_mirrors_state_into_gauges(self, analyses, batch_view):
+        registry = MetricsRegistry()
+        analyses.publish(registry)
+        rows = registry.gauge("stream.rows", ("klass",))
+        assert rows.value(klass="backscatter") == len(batch_view.backscatter)
+        assert rows.value(klass="scan") == len(batch_view.scans)
+        sessions = registry.gauge("stream.sessions", ("side", "bucket"))
+        shares = table2(batch_view)
+        assert sessions.value(side="clients", bucket="total") == (
+            shares["clients"].total
+        )
+        assert sessions.value(side="servers", bucket="QUICv1") == (
+            shares["servers"].counts.get("QUICv1", 0)
+        )
+        servers, low = analyses.offnet_counts()
+        assert registry.gauge("stream.offnet_servers").value() == servers
+        assert registry.gauge("stream.offnet_low_host_id").value() == low
+        assert registry.gauge("stream.rows_fed").value() == analyses.rows_fed
+
+    def test_republish_is_idempotent(self, analyses):
+        registry = MetricsRegistry()
+        analyses.publish(registry)
+        first = registry.snapshot()["gauges"]
+        analyses.publish(registry)
+        assert registry.snapshot()["gauges"] == first

@@ -1,0 +1,96 @@
+"""Follow-a-file primitives: JSONL tailing and snapshot re-reading."""
+
+import json
+import os
+
+from repro.stream.tail import JsonlTail, SnapshotTail
+
+
+def append(path, text):
+    with open(path, "ab") as fileobj:
+        fileobj.write(text if isinstance(text, bytes) else text.encode())
+
+
+class TestJsonlTail:
+    def test_missing_file_returns_nothing(self, tmp_path):
+        tail = JsonlTail(str(tmp_path / "nope.jsonl"))
+        assert tail.poll() == []
+        assert tail.offset == 0
+
+    def test_appends_arrive_across_polls(self, tmp_path):
+        path = str(tmp_path / "t.jsonl")
+        tail = JsonlTail(path)
+        append(path, '{"a": 1}\n')
+        assert tail.poll() == [{"a": 1}]
+        assert tail.poll() == []
+        append(path, '{"a": 2}\n{"a": 3}\n')
+        assert tail.poll() == [{"a": 2}, {"a": 3}]
+
+    def test_partial_trailing_line_is_buffered_not_torn(self, tmp_path):
+        path = str(tmp_path / "t.jsonl")
+        tail = JsonlTail(path)
+        append(path, '{"a": 1}\n{"a": ')  # writer caught mid-record
+        assert tail.poll() == [{"a": 1}]
+        append(path, "2}\n")
+        assert tail.poll() == [{"a": 2}]
+        assert tail.bad_lines == 0
+
+    def test_bad_lines_counted_and_skipped(self, tmp_path):
+        path = str(tmp_path / "t.jsonl")
+        tail = JsonlTail(path)
+        append(path, 'not json\n{"ok": 1}\n[1, 2]\n\n')
+        assert tail.poll() == [{"ok": 1}]
+        assert tail.bad_lines == 2  # unparsable + non-object; blank skipped
+
+    def test_truncation_resets_to_the_start(self, tmp_path):
+        path = str(tmp_path / "t.jsonl")
+        tail = JsonlTail(path)
+        append(path, '{"run": 1}\n{"run": 1}\n')
+        assert len(tail.poll()) == 2
+        with open(path, "wb") as fileobj:  # log rotated / path reused
+            fileobj.write(b'{"run": 2}\n')
+        assert tail.poll() == [{"run": 2}]
+        assert tail.resets == 1
+        assert tail.offset == os.path.getsize(path)
+
+
+class TestSnapshotTail:
+    def write(self, path, doc):
+        with open(path, "w") as fileobj:
+            json.dump(doc, fileobj)
+
+    def test_missing_then_first_load(self, tmp_path):
+        path = str(tmp_path / "m.json")
+        tail = SnapshotTail(path)
+        assert tail.poll() is None
+        self.write(path, {"v": 1})
+        assert tail.poll() == {"v": 1}
+
+    def test_unchanged_file_reports_nothing(self, tmp_path):
+        path = str(tmp_path / "m.json")
+        self.write(path, {"v": 1})
+        tail = SnapshotTail(path)
+        assert tail.poll() == {"v": 1}
+        assert tail.poll() is None
+
+    def test_rewrite_is_detected(self, tmp_path):
+        path = str(tmp_path / "m.json")
+        self.write(path, {"v": 1})
+        tail = SnapshotTail(path)
+        assert tail.poll() == {"v": 1}
+        self.write(path, {"v": 2, "extra": True})
+        os.utime(path, ns=(0, os.stat(path).st_mtime_ns + 10**9))
+        assert tail.poll() == {"v": 2, "extra": True}
+
+    def test_mid_rewrite_garbage_retries_without_advancing(self, tmp_path):
+        path = str(tmp_path / "m.json")
+        self.write(path, {"v": 1})
+        tail = SnapshotTail(path)
+        assert tail.poll() == {"v": 1}
+        with open(path, "w") as fileobj:  # writer truncated, not yet done
+            fileobj.write('{"v": 2')
+        os.utime(path, ns=(0, os.stat(path).st_mtime_ns + 10**9))
+        assert tail.poll() is None  # invalid JSON: stamp must NOT advance
+        append(path, "}")
+        os.utime(path, ns=(0, os.stat(path).st_mtime_ns + 2 * 10**9))
+        assert tail.poll() == {"v": 2}
