@@ -25,7 +25,12 @@ The commands cover the toolchain end to end:
   Prometheus gauges, and print the batch-identical analysis once the
   capture stops growing;
 * ``progress`` / ``top`` — render (or live-follow) the heartbeat files a
-  running sharded simulate/index writes next to its output.
+  running sharded simulate/index/sweep writes next to its output;
+* ``sweep``    — deterministic parameter-grid experiments (``sweep run
+  <spec>`` expands a declarative JSON/TOML grid into cells, simulates
+  each at most once behind per-cell ``.capidx`` caching, and writes
+  heatmap-ready long-form CSV/JSON; ``sweep status`` shows per-cell
+  state; ``sweep render`` draws a terminal heatmap over two axes).
 
 ``classify``/``analyze``/``index`` share the columnar analysis plane
 (``repro.capstore``): one streaming dissection pass — parallelizable with
@@ -1347,6 +1352,131 @@ def cmd_progress(args: argparse.Namespace) -> int:
         print()
 
 
+def cmd_sweep_run(args: argparse.Namespace) -> int:
+    """Expand a grid spec, run every cell, write manifest + results."""
+    from repro.sweep import SweepRunError, SweepSpecError, load_spec, run_sweep
+
+    try:
+        spec = load_spec(args.spec)
+    except SweepSpecError as exc:
+        raise SystemExit("repro sweep run: %s" % exc)
+    outdir = args.out or os.path.splitext(args.spec)[0] + ".sweep"
+    cells = spec.cells()
+    print(
+        "Sweep %s: %d cells (%s) -> %s"
+        % (
+            spec.name,
+            len(cells),
+            " x ".join(
+                "%s[%d]" % (axis, len(values))
+                for axis, values in spec.axes.items()
+            ),
+            outdir,
+        )
+    )
+    obs = _make_obs(args, force_metrics=True)
+    stop_prom = _start_prom(args, obs)
+    seen = [0]
+
+    def on_cell(cell, outcome) -> None:
+        seen[0] += 1
+        if not args.quiet:
+            print(
+                "  [%*d/%d] %-40s %-9s %6d records  %6.2fs"
+                % (
+                    len(str(len(cells))),
+                    seen[0],
+                    len(cells),
+                    cell.label,
+                    outcome.status,
+                    outcome.records,
+                    outcome.wall_seconds,
+                )
+            )
+
+    try:
+        with (
+            obs.metrics.time_block("sweep")
+            if obs.metrics is not None
+            else _null_context()
+        ):
+            result = run_sweep(
+                spec,
+                outdir,
+                workers=args.workers,
+                force=args.force,
+                obs=obs,
+                on_cell=on_cell,
+            )
+    except SweepRunError as exc:
+        raise SystemExit(
+            "repro sweep run: %s (see `repro sweep status %s`)" % (exc, outdir)
+        )
+    finally:
+        stop_prom()
+        _finish_obs(args, obs)
+    print(
+        "Swept %d cells (%d simulated, %d cached) in %.2fs -> %s, %s"
+        % (
+            len(result.cells),
+            result.simulated,
+            result.cached,
+            result.wall_seconds,
+            result.csv_path,
+            result.manifest_path,
+        )
+    )
+    return 0
+
+
+def _null_context():
+    import contextlib
+
+    return contextlib.nullcontext()
+
+
+def cmd_sweep_status(args: argparse.Namespace) -> int:
+    """Render a sweep directory's manifest (plus live heartbeats)."""
+    from repro.sweep import RenderError, render_status
+
+    try:
+        print(render_status(args.outdir))
+    except RenderError as exc:
+        raise SystemExit("repro sweep status: %s" % exc)
+    return 0
+
+
+def cmd_sweep_render(args: argparse.Namespace) -> int:
+    """Pivot sweep results into a terminal heatmap (and optional CSV)."""
+    from repro.sweep import RenderError, heatmap_csv, load_results, render_heatmap
+
+    try:
+        results = load_results(args.outdir)
+        axes = list(results["axes"])
+        if len(axes) < 2:
+            raise RenderError(
+                "a heatmap needs two axes; this sweep has %s — read %s/results.csv"
+                % (", ".join(axes) or "none", args.outdir)
+            )
+        metric = args.metric or results["metrics"][0]
+        x_axis = args.x or axes[-1]
+        y_axis = args.y or next(a for a in axes if a != x_axis)
+        fixed = {}
+        for pin in args.fix or ():
+            axis, sep, value = pin.partition("=")
+            if not sep:
+                raise RenderError("--fix wants axis=value (got %r)" % pin)
+            fixed[axis] = value
+        print(render_heatmap(results, metric, x_axis, y_axis, fixed))
+        if args.csv:
+            with open(args.csv, "w") as fileobj:
+                fileobj.write(heatmap_csv(results, metric, x_axis, y_axis, fixed))
+            print("Wrote pivoted CSV to %s" % args.csv)
+    except RenderError as exc:
+        raise SystemExit("repro sweep render: %s" % exc)
+    return 0
+
+
 # ---------------------------------------------------------------------------
 # Entry point
 # ---------------------------------------------------------------------------
@@ -1619,6 +1749,82 @@ def build_parser() -> argparse.ArgumentParser:
         help="seconds between refreshes in follow mode (default: 2)",
     )
     progress.set_defaults(func=cmd_progress)
+
+    sweep = sub.add_parser(
+        "sweep", help="deterministic parameter-grid experiments"
+    )
+    sweep_sub = sweep.add_subparsers(dest="sweep_command", required=True)
+    sweep_run = sweep_sub.add_parser(
+        "run",
+        help="expand a grid spec into cells, simulate each at most once, "
+        "write manifest + heatmap-ready long-form CSV/JSON",
+    )
+    sweep_run.add_argument(
+        "spec", help="grid spec file (JSON; TOML on Python >= 3.11)"
+    )
+    sweep_run.add_argument(
+        "--out",
+        metavar="DIR",
+        help="sweep output directory (default: spec path with the "
+        "extension replaced by .sweep)",
+    )
+    sweep_run.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help="fan cells across N worker processes (results byte-identical "
+        "for any N; each cell simulates in-process)",
+    )
+    sweep_run.add_argument(
+        "--force",
+        action="store_true",
+        help="re-simulate every cell, ignoring cached captures",
+    )
+    sweep_run.add_argument(
+        "--quiet",
+        action="store_true",
+        help="skip the per-cell progress lines",
+    )
+    _add_obs_flags(sweep_run)
+    _add_prom_flags(sweep_run)
+    sweep_run.set_defaults(func=cmd_sweep_run)
+    sweep_status = sweep_sub.add_parser(
+        "status",
+        help="per-cell state of a sweep directory (live heartbeats while "
+        "cells are pending)",
+    )
+    sweep_status.add_argument("outdir", help="sweep output directory")
+    sweep_status.set_defaults(func=cmd_sweep_status)
+    sweep_render = sweep_sub.add_parser(
+        "render",
+        help="terminal heatmap of one metric over two axes (+ CSV export)",
+    )
+    sweep_render.add_argument("outdir", help="sweep output directory")
+    sweep_render.add_argument(
+        "--metric",
+        metavar="NAME",
+        help="metric to render (default: the spec's first metric)",
+    )
+    sweep_render.add_argument(
+        "--x", metavar="AXIS", help="column axis (default: the last axis)"
+    )
+    sweep_render.add_argument(
+        "--y", metavar="AXIS", help="row axis (default: the first axis)"
+    )
+    sweep_render.add_argument(
+        "--fix",
+        action="append",
+        metavar="AXIS=VALUE",
+        help="pin an extra axis to one value (repeatable); unfixed extra "
+        "axes are mean-aggregated with a note",
+    )
+    sweep_render.add_argument(
+        "--csv",
+        metavar="FILE",
+        help="also write the pivoted grid as CSV to FILE",
+    )
+    sweep_render.set_defaults(func=cmd_sweep_render)
 
     top = sub.add_parser(
         "top", help="live-follow a sharded run's progress (progress --follow)"

@@ -50,6 +50,7 @@ from repro.obs.trace import (
     CAT_SECURITY,
     CAT_SIM,
     CAT_SPAN,
+    CAT_SWEEP,
     CAT_TELESCOPE,
     CAT_TRANSPORT,
     CAT_WORKLOAD,
@@ -95,6 +96,7 @@ __all__ = [
     "CAT_SECURITY",
     "CAT_SIM",
     "CAT_SPAN",
+    "CAT_SWEEP",
     "CAT_TELESCOPE",
     "CAT_TRANSPORT",
     "CAT_WORKLOAD",

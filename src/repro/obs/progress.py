@@ -157,12 +157,19 @@ def read_heartbeats(
 def resolve_progress_dir(target: str) -> str:
     """Map a CLI target to its progress directory.
 
-    Accepts either the directory itself or the simulate output path (the
-    run writes heartbeats to ``<output>.progress/``).  Exits with a
-    one-line error when neither exists — progress inspection must never
-    traceback on a finished/cleaned run.
+    Accepts the directory itself, the simulate output path (the run
+    writes heartbeats to ``<output>.progress/``), or a sweep output
+    directory (``repro sweep run`` writes per-cell heartbeats to
+    ``<outdir>/progress/``).  Exits with a one-line error when none
+    exists — progress inspection must never traceback on a
+    finished/cleaned run.
     """
     if os.path.isdir(target):
+        nested = os.path.join(target, "progress")
+        if not glob.glob(
+            os.path.join(target, "*" + HEARTBEAT_SUFFIX)
+        ) and os.path.isdir(nested):
+            return nested
         return target
     candidate = target + ".progress"
     if os.path.isdir(candidate):

@@ -40,6 +40,7 @@ CAT_SANITIZE = "sanitize"  # classification pipeline decisions
 CAT_WORKLOAD = "workload"  # traffic generators (attacks, scans, noise)
 CAT_CAPSTORE = "capstore"  # columnar index build/load and cache decisions
 CAT_SPAN = "span"  # hierarchical stage spans (span_id/parent_id links)
+CAT_SWEEP = "sweep"  # parameter-grid cell lifecycle (repro.sweep)
 
 
 class Tracer:

@@ -194,6 +194,29 @@ def run_shard(
     return records
 
 
+def run_to_pcap(
+    config: ScenarioConfig,
+    output: str,
+    obs: Optional[Observability] = None,
+    heartbeat: Optional[HeartbeatWriter] = None,
+    unit_names: Optional[Sequence[str]] = None,
+) -> int:
+    """Run a scenario in-process and persist its capture to ``output``.
+
+    A thin composition of :func:`run_shard` and
+    :func:`~repro.netstack.pcap.write_pcap` — records land on disk in the
+    canonical merge order, so the file is byte-identical to what any
+    ``--workers N`` merged run would produce for the same config.  This
+    is the per-cell simulation primitive of ``repro.sweep``, which may
+    itself already be fanning cells across a process pool (daemonic pool
+    workers cannot spawn their own children, so cells simulate
+    in-process).  Returns the number of captured records.
+    """
+    records = run_shard(config, unit_names, obs=obs, heartbeat=heartbeat)
+    write_pcap(output, records)
+    return len(records)
+
+
 def _worker_main(payload: tuple):
     """Worker-process entry: run one shard, persist its capture.
 

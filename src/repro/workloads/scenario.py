@@ -137,6 +137,15 @@ class ScenarioConfig:
     #: ``sim.queue_depth`` is sampled every 2**shift events; raise this as
     #: event rates grow past ~10^7/run to keep the histogram cheap.
     queue_depth_sample_shift: int = 10
+    # --- path conditions ----------------------------------------------------
+    #: Uniform datagram loss applied by the simulated Internet.  Loss is a
+    #: keyed per-packet hash (see :class:`~repro.simnet.network.PathModel`),
+    #: so a packet's fate is independent of shard assignment; sweep axes
+    #: over ``loss_rate`` stay deterministic per cell.
+    loss_rate: float = 0.0
+    #: One-way delay jitter amplitude in seconds (default matches
+    #: :class:`~repro.simnet.network.PathModel`).
+    jitter: float = 0.001
     # --- deployment sizes -------------------------------------------------
     facebook_clusters: int = 6
     facebook_vips_per_cluster: int = 22
@@ -435,7 +444,12 @@ def build_scenario(
         queue_depth_sample_shift=config.queue_depth_sample_shift,
         expected_events=expected_events,
     )
-    network = Network(loop, random.Random(config.seed ^ 0xBEEF), PathModel(), obs=obs)
+    network = Network(
+        loop,
+        random.Random(config.seed ^ 0xBEEF),
+        PathModel(jitter=config.jitter, loss_rate=config.loss_rate),
+        obs=obs,
+    )
     telescope = Telescope(prefix=config.telescope_prefix, obs=obs)
     network.add_device(telescope)
 

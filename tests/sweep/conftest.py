@@ -1,0 +1,42 @@
+"""Shared fixtures for the sweep plane tests.
+
+``MICRO`` shrinks every traffic volume far below the default scenario so
+one cell simulates in ~0.1 s; grid tests stay interactive while still
+exercising the full simulate → capture → index → evaluate pipeline.
+"""
+
+import pytest
+
+#: ScenarioConfig overrides for sub-second cells (used as a spec ``base``).
+MICRO = {
+    "research_scan_packets": 60,
+    "unknown_scan_packets": 30,
+    "noise_packets": 20,
+    "zero_rtt_scan_packets": 6,
+    "attacks_facebook": 16,
+    "attacks_google": 20,
+    "attacks_cloudflare": 2,
+    "attacks_offnet": 6,
+    "attacks_remaining": 6,
+    "remaining_servers": 12,
+    "facebook_offnets": 4,
+}
+
+
+@pytest.fixture
+def micro_base():
+    return dict(MICRO)
+
+
+@pytest.fixture
+def micro_spec_doc(micro_base):
+    """A 2x2 grid document, ready for ``spec_from_dict`` or JSON dumping."""
+    return {
+        "name": "micro",
+        "base": micro_base,
+        "axes": {
+            "loss_rate": [0.0, 0.2],
+            "attack_scale": [0.5, 1.0],
+        },
+        "metrics": ["rows.total", "removed_share", "counter:net.dropped"],
+    }

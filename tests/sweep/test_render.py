@@ -1,0 +1,163 @@
+"""Pivoting and terminal rendering, on synthetic results documents."""
+
+import json
+
+import pytest
+
+from repro.sweep.render import (
+    SHADES,
+    RenderError,
+    _shade,
+    heatmap_csv,
+    load_manifest,
+    load_results,
+    pivot,
+    render_heatmap,
+    render_status,
+)
+
+
+def toy_results():
+    cells = []
+    for a in (1, 2):
+        for b in (0.1, 0.2):
+            for c in ("x", "y"):
+                cells.append(
+                    {
+                        "coords": [["a", a], ["b", b], ["c", c]],
+                        "cell_id": "%d%s%s" % (a, b, c),
+                        "values": {"m": float(a * 10 + (b * 100) + (1 if c == "y" else 0))},
+                    }
+                )
+    return {
+        "spec": "toy",
+        "axes": {"a": [1, 2], "b": [0.1, 0.2], "c": ["x", "y"]},
+        "metrics": ["m"],
+        "cells": cells,
+    }
+
+
+class TestPivot:
+    def test_fixed_third_axis(self):
+        x_values, y_values, grid, averaged = pivot(
+            toy_results(), "m", "b", "a", fixed={"c": "x"}
+        )
+        assert x_values == ["0.1", "0.2"]
+        assert y_values == ["1", "2"]
+        assert averaged == []
+        assert grid[("1", "0.1")] == 20.0
+        assert grid[("2", "0.2")] == 40.0
+
+    def test_unfixed_axis_is_mean_aggregated(self):
+        _x, _y, grid, averaged = pivot(toy_results(), "m", "b", "a")
+        assert averaged == ["c"]
+        assert grid[("1", "0.1")] == 20.5  # mean of c=x (20) and c=y (21)
+
+    def test_unknown_axis(self):
+        with pytest.raises(RenderError, match="unknown axis 'z'"):
+            pivot(toy_results(), "m", "z", "a")
+
+    def test_same_axis_twice(self):
+        with pytest.raises(RenderError, match="different axes"):
+            pivot(toy_results(), "m", "a", "a")
+
+    def test_unknown_metric(self):
+        with pytest.raises(RenderError, match="was not recorded"):
+            pivot(toy_results(), "nope", "b", "a")
+
+    def test_fix_unknown_axis(self):
+        with pytest.raises(RenderError, match="cannot fix unknown axis"):
+            pivot(toy_results(), "m", "b", "a", fixed={"z": "1"})
+
+    def test_fix_unknown_value(self):
+        with pytest.raises(RenderError, match="has no value"):
+            pivot(toy_results(), "m", "b", "a", fixed={"c": "zz"})
+
+
+class TestShade:
+    def test_extremes(self):
+        assert _shade(0.0, 0.0, 1.0) == SHADES[0]
+        assert _shade(1.0, 0.0, 1.0) == SHADES[-1]
+
+    def test_flat_grid(self):
+        assert _shade(5.0, 5.0, 5.0) == SHADES[-1]
+
+
+class TestRenderHeatmap:
+    def test_contains_axes_and_values(self):
+        out = render_heatmap(toy_results(), "m", "b", "a", fixed={"c": "x"})
+        assert "a \\ b" in out
+        assert "toy — m by a (y) x b (x), c=x" in out
+        assert "20" in out and "40" in out
+        assert SHADES[0] in out and SHADES[-1] in out
+
+    def test_averaged_note(self):
+        out = render_heatmap(toy_results(), "m", "b", "a")
+        assert "mean over unfixed axes: c" in out
+        assert "--fix" in out
+
+    def test_no_note_when_fixed(self):
+        out = render_heatmap(toy_results(), "m", "b", "a", fixed={"c": "y"})
+        assert "mean over" not in out
+
+
+class TestHeatmapCsv:
+    def test_pivoted_csv(self):
+        out = heatmap_csv(toy_results(), "m", "b", "a", fixed={"c": "x"})
+        lines = out.splitlines()
+        assert lines[0] == "a\\b,0.1,0.2"
+        assert lines[1] == "1,20.0,30.0"
+        assert lines[2] == "2,30.0,40.0"
+
+
+class TestLoaders:
+    def test_missing_results(self, tmp_path):
+        with pytest.raises(RenderError, match="no results.json"):
+            load_results(str(tmp_path))
+
+    def test_missing_manifest(self, tmp_path):
+        with pytest.raises(RenderError, match="no manifest.json"):
+            load_manifest(str(tmp_path))
+
+    def test_invalid_results(self, tmp_path):
+        (tmp_path / "results.json").write_text("{bad")
+        with pytest.raises(RenderError, match="invalid results.json"):
+            load_results(str(tmp_path))
+
+
+class TestRenderStatus:
+    def test_manifest_table(self, tmp_path):
+        manifest = {
+            "spec": {"name": "toy"},
+            "workers": 1,
+            "cells": [
+                {
+                    "index": 0,
+                    "label": "loss_rate=0.0",
+                    "status": "simulated",
+                    "records": 120,
+                    "wall_seconds": 0.5,
+                    "error": "",
+                },
+                {
+                    "index": 1,
+                    "label": "loss_rate=0.2",
+                    "status": "failed",
+                    "records": 0,
+                    "wall_seconds": 0.1,
+                    "error": "ValueError: boom",
+                },
+            ],
+            "totals": {
+                "cells": 2,
+                "simulated": 1,
+                "cached": 0,
+                "failed": 1,
+                "pending": 0,
+            },
+        }
+        (tmp_path / "manifest.json").write_text(json.dumps(manifest))
+        out = render_status(str(tmp_path))
+        assert "Sweep toy: 2 cells (1 simulated, 0 cached, 1 failed, 0 pending)" in out
+        assert "loss_rate=0.2" in out
+        assert "ValueError: boom" in out

@@ -1,0 +1,173 @@
+#!/usr/bin/env python
+"""Fail on documented ``repro`` commands the real CLI would reject.
+
+The experiment book (EXPERIMENTS.md), README and ARCHITECTURE quote
+``repro ...`` invocations inside fenced code blocks.  A renamed flag or
+subcommand silently rots every one of them — the worst kind of docs bug,
+because readers copy-paste exactly those lines.  This checker extracts
+each fenced command and drives it through the *actual*
+:func:`repro.cli.build_parser` grammar (``parse_args`` up to, but not
+including, command execution):
+
+* lines are commands when their first token is ``repro``, after an
+  optional ``$``/``%`` prompt and any leading ``VAR=value`` environment
+  assignments;
+* trailing-backslash continuations are joined first; everything from
+  the first shell operator (``|``, ``&&``, ``;``, redirections) on is
+  ignored, as are comment lines;
+* a command parses cleanly when argparse accepts it (``--help`` counts:
+  argparse exits 0).  Anything that would print a usage error fails.
+
+Placeholder arguments are deliberately *not* allowed — ``repro analyze
+<pcap>`` fails the numeric/choice checks that real paths pass, which
+keeps the book runnable by copy-paste.
+
+Exit status is the number of broken commands (0 = docs are clean), so
+the CI docs job can simply run ``PYTHONPATH=src python
+tools/check_doc_commands.py``.  Used by
+``tests/docs/test_doc_commands.py`` as a tier-1 gate too.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import io
+import os
+import re
+import shlex
+import sys
+from typing import List, Tuple
+
+#: The documents whose fenced ``repro`` commands we guarantee.
+DOCS = (
+    "README.md",
+    "ARCHITECTURE.md",
+    "EXPERIMENTS.md",
+    "ROADMAP.md",
+    "DESIGN.md",
+    "CHANGES.md",
+)
+
+_FENCE = re.compile(r"^(```|~~~)")
+_ENV_ASSIGNMENT = re.compile(r"^[A-Za-z_][A-Za-z0-9_]*=")
+_SHELL_OPERATORS = {"|", "||", "&&", "&", ";", ">", ">>", "<", "2>", "2>&1"}
+
+
+def fenced_commands(path: str) -> List[Tuple[int, str]]:
+    """Every ``repro ...`` command line inside fenced blocks of ``path``.
+
+    Returns ``(lineno, command)`` pairs with continuations joined and
+    prompts kept (stripped later by :func:`repro_argv`).
+    """
+    with open(path, encoding="utf-8") as fileobj:
+        raw = fileobj.read().splitlines()
+    commands: List[Tuple[int, str]] = []
+    in_fence = False
+    pending: List[str] = []
+    pending_line = 0
+    for lineno, line in enumerate(raw, start=1):
+        if _FENCE.match(line.strip()):
+            in_fence = not in_fence
+            pending = []
+            continue
+        if not in_fence:
+            continue
+        text = line.strip()
+        if pending:
+            pending.append(text.rstrip("\\").strip())
+            if not text.endswith("\\"):
+                commands.append((pending_line, " ".join(pending)))
+                pending = []
+            continue
+        if text.startswith("#") or not text:
+            continue
+        stripped = text.lstrip("$% ").strip()
+        first_real = next(
+            (
+                token
+                for token in stripped.split()
+                if not _ENV_ASSIGNMENT.match(token)
+            ),
+            "",
+        )
+        if first_real != "repro":
+            continue
+        if text.endswith("\\"):
+            pending = [text.rstrip("\\").strip()]
+            pending_line = lineno
+        else:
+            commands.append((lineno, text))
+    return commands
+
+
+def repro_argv(command: str) -> List[str]:
+    """The argv (after ``repro``) a shell would hand the CLI."""
+    # comments=True drops trailing `# explanation` annotations; a real
+    # shell would treat them the same way.
+    tokens = shlex.split(command.lstrip("$% "), comments=True)
+    while tokens and _ENV_ASSIGNMENT.match(tokens[0]):
+        tokens.pop(0)
+    argv: List[str] = []
+    for token in tokens:
+        if token in _SHELL_OPERATORS:
+            break
+        argv.append(token)
+    assert argv and argv[0] == "repro", command
+    return argv[1:]
+
+
+def parses(argv: List[str]) -> Tuple[bool, str]:
+    """Does the real CLI grammar accept ``argv``?  (ok, error text)."""
+    from repro.cli import build_parser
+
+    stderr = io.StringIO()
+    try:
+        with contextlib.redirect_stderr(stderr), contextlib.redirect_stdout(
+            io.StringIO()
+        ):
+            build_parser().parse_args(argv)
+    except SystemExit as exc:  # argparse reports errors by exiting
+        if exc.code not in (0, None):
+            message = stderr.getvalue().strip().splitlines()
+            return False, message[-1] if message else "usage error"
+    return True, ""
+
+
+def check_file(path: str) -> Tuple[int, List[str]]:
+    """(commands seen, errors) for one document."""
+    errors: List[str] = []
+    commands = fenced_commands(path)
+    for lineno, command in commands:
+        try:
+            argv = repro_argv(command)
+        except ValueError as exc:  # unbalanced quotes etc.
+            errors.append("%s:%d: unparsable shell: %s" % (path, lineno, exc))
+            continue
+        ok, why = parses(argv)
+        if not ok:
+            errors.append("%s:%d: %r — %s" % (path, lineno, command, why))
+    return len(commands), errors
+
+
+def main(argv: List[str]) -> int:
+    repo_root = os.path.abspath(
+        argv[1] if len(argv) > 1 else os.path.join(os.path.dirname(__file__), "..")
+    )
+    sys.path.insert(0, os.path.join(repo_root, "src"))
+    total = 0
+    errors: List[str] = []
+    for name in DOCS:
+        doc = os.path.join(repo_root, name)
+        if os.path.exists(doc):
+            seen, bad = check_file(doc)
+            total += seen
+            errors.extend(bad)
+    for error in errors:
+        print(error, file=sys.stderr)
+    if not errors:
+        print("doc commands ok (%d commands, %d documents)" % (total, len(DOCS)))
+    return len(errors)
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
