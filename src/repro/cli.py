@@ -30,7 +30,12 @@ The commands cover the toolchain end to end:
   <spec>`` expands a declarative JSON/TOML grid into cells, simulates
   each at most once behind per-cell ``.capidx`` caching, and writes
   heatmap-ready long-form CSV/JSON; ``sweep status`` shows per-cell
-  state; ``sweep render`` draws a terminal heatmap over two axes).
+  state; ``sweep render`` draws a terminal heatmap over two axes);
+* ``lint``     — static determinism/invariant analysis over Python
+  sources (``repro lint src``): seeded-randomness, wall-clock,
+  entropy, ``hash()``, unordered-iteration, metric-name-grammar, and
+  multiprocessing-picklability rules, with inline pragma suppression
+  and a committed baseline (``--rules`` lists the pack).
 
 ``classify``/``analyze``/``index`` share the columnar analysis plane
 (``repro.capstore``): one streaming dissection pass — parallelizable with
@@ -1477,6 +1482,50 @@ def cmd_sweep_render(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_lint(args: argparse.Namespace) -> int:
+    """Run the static determinism/invariant analyzer over Python sources.
+
+    Exit status is the number of *new* (unbaselined, unsuppressed)
+    findings — 0 means the tree honours the determinism contract.  The
+    committed baseline (``lint_baseline.json``, empty in this repo)
+    exists so a fork can adopt the linter before paying down debt;
+    ``--update-baseline`` regenerates it from the current findings.
+    """
+    from repro.lint import (
+        Baseline,
+        BaselineError,
+        lint_paths,
+        render_json,
+        render_rules,
+        render_text,
+    )
+
+    if args.rules:
+        print(render_rules())
+        return 0
+    paths = args.paths or ["src"]
+    missing = [path for path in paths if not os.path.exists(path)]
+    if missing:
+        raise SystemExit("repro lint: no such path: %s" % ", ".join(missing))
+    try:
+        baseline = Baseline.load(args.baseline)
+    except BaselineError as exc:
+        raise SystemExit("repro lint: %s" % exc)
+    result = lint_paths(paths, baseline=baseline)
+    if args.update_baseline:
+        Baseline.write(args.baseline, result.findings + result.baselined)
+        print(
+            "Wrote %d finding(s) to %s"
+            % (len(result.findings) + len(result.baselined), args.baseline)
+        )
+        return 0
+    if args.json:
+        print(render_json(result))
+    else:
+        print(render_text(result, verbose_baseline=args.show_baselined))
+    return len(result.findings)
+
+
 # ---------------------------------------------------------------------------
 # Entry point
 # ---------------------------------------------------------------------------
@@ -1825,6 +1874,45 @@ def build_parser() -> argparse.ArgumentParser:
         help="also write the pivoted grid as CSV to FILE",
     )
     sweep_render.set_defaults(func=cmd_sweep_render)
+
+    lint = sub.add_parser(
+        "lint",
+        help="static determinism/invariant analysis over Python sources",
+    )
+    lint.add_argument(
+        "paths",
+        nargs="*",
+        help="files or directories to lint (default: src)",
+    )
+    lint.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the machine-readable report (same shape as the tools/ "
+        "checkers' --json output)",
+    )
+    lint.add_argument(
+        "--baseline",
+        metavar="FILE",
+        default="lint_baseline.json",
+        help="baseline of grandfathered findings (default: "
+        "lint_baseline.json; a missing file is an empty baseline)",
+    )
+    lint.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="rewrite the baseline file from the current findings and exit 0",
+    )
+    lint.add_argument(
+        "--show-baselined",
+        action="store_true",
+        help="also list baselined findings (they never fail the run)",
+    )
+    lint.add_argument(
+        "--rules",
+        action="store_true",
+        help="list the rule pack and exit",
+    )
+    lint.set_defaults(func=cmd_lint)
 
     top = sub.add_parser(
         "top", help="live-follow a sharded run's progress (progress --follow)"

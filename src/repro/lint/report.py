@@ -1,0 +1,77 @@
+"""Text and JSON reporters for lint results.
+
+Both render the same facts; the JSON shape is shared with the
+``tools/``-side checkers (see ``tools/_report.py``) so CI and editors
+can consume every correctness gate with one parser::
+
+    {
+      "tool": "repro-lint",
+      "checked": 123,              # files examined
+      "findings": [ {"path", "line", "col", "rule", "message"}, ... ],
+      "baselined": [ ... ],        # grandfathered, do not fail the run
+      "suppressed": 4,             # pragma-silenced count
+      "ok": false                  # len(findings) == 0
+    }
+
+The process exit code is the number of *new* findings, matching the
+other checkers' count-of-problems convention.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.lint.engine import LintResult
+from repro.lint.rules import rule_table
+
+
+def render_text(result: LintResult, verbose_baseline: bool = False) -> str:
+    """Human-facing report: one line per finding plus a summary."""
+    lines = [finding.render() for finding in result.findings]
+    if verbose_baseline and result.baselined:
+        lines.extend(
+            "%s [baselined]" % finding.render() for finding in result.baselined
+        )
+    summary = "%d file%s checked: " % (
+        result.files,
+        "" if result.files == 1 else "s",
+    )
+    if result.ok:
+        summary += "clean"
+    else:
+        summary += "%d finding%s" % (
+            len(result.findings),
+            "" if len(result.findings) == 1 else "s",
+        )
+    extras = []
+    if result.baselined:
+        extras.append("%d baselined" % len(result.baselined))
+    if result.suppressed:
+        extras.append("%d pragma-suppressed" % result.suppressed)
+    if extras:
+        summary += " (%s)" % ", ".join(extras)
+    lines.append(summary)
+    return "\n".join(lines)
+
+
+def render_json(result: LintResult) -> str:
+    doc = {
+        "tool": "repro-lint",
+        "checked": result.files,
+        "findings": [finding.to_json() for finding in result.findings],
+        "baselined": [finding.to_json() for finding in result.baselined],
+        "suppressed": result.suppressed,
+        "ok": result.ok,
+    }
+    return json.dumps(doc, indent=2, sort_keys=True)
+
+
+def render_rules() -> str:
+    """The ``--rules`` listing: id, title, one-line description."""
+    from repro.core.report import render_table
+
+    return render_table(
+        ["rule", "title", "invariant"],
+        [list(row) for row in rule_table()],
+        title="repro lint rule pack",
+    )

@@ -1,0 +1,379 @@
+"""The rule pack: the repo's determinism contract, as AST checks.
+
+Each rule encodes an invariant the runtime parity gates (byte-identical
+shard merges, warm-cache analyze parity, sweep cache hits) only catch
+*after* a full simulation.  Statically:
+
+==========  =============================================================
+rule id     invariant
+==========  =============================================================
+``DET001``  all randomness flows from a seeded ``random.Random(seed)``
+            instance — module-level ``random.*`` calls use the global,
+            unseeded generator and break run-to-run reproducibility
+``DET002``  no wall-clock reads (``time.time``/``perf_counter``/
+            ``monotonic``, ``datetime.now`` …) outside the observability
+            layer (``obs``/``tools``/``benchmarks``), whose wall numbers
+            are declared nondeterministic facts
+``DET003``  no OS entropy (``os.urandom``, ``uuid.uuid1/uuid4``,
+            ``secrets.*``, ``random.SystemRandom``) anywhere
+``DET004``  no builtin ``hash()`` — it is salted per process
+            (PYTHONHASHSEED), so anything derived from it differs across
+            runs and workers; use ``hashlib.blake2b`` / ``derive_seed``
+``DET005``  no direct iteration over unordered collections (``set`` /
+            ``frozenset`` expressions) or unordered filesystem listings
+            (``os.listdir``, ``glob.glob``) — wrap in ``sorted()`` before
+            the order can leak into output
+``OBS001``  sweep metric-name string literals (``counter:…``,
+            ``gauge:…``, ``timer:…``, ``version_share.…``, …) must pass
+            the grammar :func:`repro.sweep.metrics.validate_metric`
+            enforces at spec-parse time — a typo fails lint, not a sweep
+``MP001``   multiprocessing pool/process targets must be top-level
+            (picklable) callables — lambdas and nested functions fail at
+            runtime under the spawn start method only, i.e. on someone
+            else's machine
+==========  =============================================================
+
+Rules are small classes with an ``interests`` tuple of AST node types
+and a ``visit(node, ctx)`` generator of findings; the engine dispatches
+them over a single ``ast.walk``.  Suppress a deliberate violation with
+``# repro: allow(RULE-ID) -- justification`` on the offending line (or
+alone on the line above).
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterator, List, Tuple
+
+from repro.lint.engine import FileContext, Finding
+
+#: DET002 does not apply under these path components: the observability
+#: layer reports real wall time by design (its outputs are declared
+#: nondeterministic facts), and the checker/bench scripts never run
+#: inside a simulation.
+WALL_CLOCK_ALLOWED_PARTS = ("obs", "tools", "benchmarks")
+
+#: Wall-clock reading callables, by resolved dotted name.
+WALL_CLOCK_CALLS = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "time.monotonic",
+        "time.monotonic_ns",
+        "time.perf_counter",
+        "time.perf_counter_ns",
+        "time.process_time",
+        "time.process_time_ns",
+        "time.localtime",
+        "time.gmtime",
+        "time.ctime",
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+        "datetime.datetime.today",
+        "datetime.date.today",
+    }
+)
+
+#: OS entropy sources, by resolved dotted name.
+ENTROPY_CALLS = frozenset(
+    {
+        "os.urandom",
+        "os.getrandom",
+        "uuid.uuid1",
+        "uuid.uuid4",
+        "random.SystemRandom",
+    }
+)
+
+#: Pool/executor methods whose first argument must be picklable.
+_POOL_METHODS = frozenset(
+    {
+        "map",
+        "map_async",
+        "imap",
+        "imap_unordered",
+        "starmap",
+        "starmap_async",
+        "apply",
+        "apply_async",
+        "submit",
+    }
+)
+
+#: Sweep metric-name shapes OBS001 validates (see repro.sweep.metrics).
+#: A literal must carry content *after* the family prefix to count as a
+#: metric name — bare prefixes ("counter:", "version_share.") are the
+#: grammar machinery itself (prefix tables, startswith() tests), and a
+#: name with whitespace is prose, not a metric.
+_METRIC_LITERAL = re.compile(
+    r"\A(?:(?:counter|gauge|timer):|(?:version_share|packet_share|scid_unique)\.)\S+\Z"
+)
+
+
+class Rule:
+    """Base class: subclasses set ``id``/``title`` and yield findings."""
+
+    id = "RULE000"
+    title = "abstract rule"
+    interests: Tuple[type, ...] = ()
+
+    def visit(self, node: ast.AST, ctx: FileContext) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def finding(self, node: ast.AST, ctx: FileContext, message: str) -> Finding:
+        return Finding(
+            path=ctx.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0) + 1,
+            rule=self.id,
+            message=message,
+        )
+
+
+class UnseededRandomRule(Rule):
+    """DET001: randomness must come from a seeded ``random.Random``."""
+
+    id = "DET001"
+    title = "module-level / unseeded random"
+    interests = (ast.Call, ast.ImportFrom)
+
+    #: ``random`` module attributes that are fine to touch: the seeded
+    #: generator class itself.  ``SystemRandom`` is DET003's business.
+    _ALLOWED = frozenset({"random.Random", "random.SystemRandom"})
+
+    def visit(self, node, ctx):
+        if isinstance(node, ast.ImportFrom):
+            if node.module == "random" and not node.level:
+                bad = [
+                    alias.name
+                    for alias in node.names
+                    if alias.name not in ("Random", "SystemRandom")
+                ]
+                if bad:
+                    yield self.finding(
+                        node,
+                        ctx,
+                        "importing %s from random binds the global unseeded "
+                        "generator; seed a random.Random(seed) instance and "
+                        "call its methods instead" % ", ".join(sorted(bad)),
+                    )
+            return
+        name = ctx.resolve(node.func)
+        if name == "random.Random" and not node.args and not node.keywords:
+            yield self.finding(
+                node,
+                ctx,
+                "random.Random() without a seed draws from OS entropy; pass "
+                "an explicit seed (see derive_seed in repro.workloads.scenario)",
+            )
+            return
+        if (
+            name.startswith("random.")
+            and name not in self._ALLOWED
+            and name.count(".") == 1
+        ):
+            yield self.finding(
+                node,
+                ctx,
+                "%s() uses the process-global unseeded generator; call the "
+                "method on a seeded random.Random(seed) instance instead" % name,
+            )
+
+
+class WallClockRule(Rule):
+    """DET002: wall-clock reads stay inside the observability layer."""
+
+    id = "DET002"
+    title = "wall-clock read outside obs/tools"
+    interests = (ast.Call,)
+
+    def visit(self, node, ctx):
+        if any(part in WALL_CLOCK_ALLOWED_PARTS for part in ctx.parts):
+            return
+        name = ctx.resolve(node.func)
+        if name in WALL_CLOCK_CALLS:
+            yield self.finding(
+                node,
+                ctx,
+                "%s() reads the wall clock; simulation paths must use the "
+                "event loop's simulated time (loop.now) — wall time belongs "
+                "to repro.obs" % name,
+            )
+
+
+class EntropyRule(Rule):
+    """DET003: no OS entropy sources, ever."""
+
+    id = "DET003"
+    title = "OS entropy source"
+    interests = (ast.Call,)
+
+    def visit(self, node, ctx):
+        name = ctx.resolve(node.func)
+        if name in ENTROPY_CALLS or name.startswith("secrets."):
+            yield self.finding(
+                node,
+                ctx,
+                "%s() draws OS entropy and can never reproduce; derive "
+                "bytes from the scenario seed (derive_seed / blake2b)" % name,
+            )
+
+
+class BuiltinHashRule(Rule):
+    """DET004: builtin ``hash()`` is salted per process."""
+
+    id = "DET004"
+    title = "builtin hash()"
+    interests = (ast.Call,)
+
+    def visit(self, node, ctx):
+        if (
+            isinstance(node.func, ast.Name)
+            and node.func.id == "hash"
+            and node.func.id not in ctx.from_imports
+            and node.func.id not in ctx.module_aliases
+        ):
+            yield self.finding(
+                node,
+                ctx,
+                "builtin hash() is salted per process (PYTHONHASHSEED): any "
+                "persisted or derived value differs across runs and workers; "
+                "use hashlib.blake2b or derive_seed",
+            )
+
+
+class UnorderedIterationRule(Rule):
+    """DET005: sorted() before unordered iteration can reach output."""
+
+    id = "DET005"
+    title = "iteration over unordered collection"
+    interests = (ast.For, ast.comprehension)
+
+    _FS_LISTINGS = frozenset(
+        {"os.listdir", "os.scandir", "glob.glob", "glob.iglob"}
+    )
+
+    def _unordered(self, expr: ast.AST, ctx: FileContext) -> str:
+        """Why ``expr`` iterates in nondeterministic order ("" = it doesn't)."""
+        if isinstance(expr, (ast.Set, ast.SetComp)):
+            return "a set expression iterates in hash order"
+        if isinstance(expr, ast.Call):
+            name = ctx.resolve(expr.func)
+            if name in ("set", "frozenset"):
+                return "%s() iterates in hash order" % name
+            if name in self._FS_LISTINGS:
+                return "%s() returns entries in filesystem order" % name
+        return ""
+
+    def visit(self, node, ctx):
+        expr = node.iter
+        why = self._unordered(expr, ctx)
+        if why:
+            yield self.finding(
+                # ast.comprehension has no lineno of its own; anchor on
+                # the iterable expression for both node kinds.
+                expr,
+                ctx,
+                "%s, which varies across runs and machines; wrap it in "
+                "sorted() before the order can leak into serialized or "
+                "printed output" % why,
+            )
+
+
+class MetricNameRule(Rule):
+    """OBS001: metric-name literals must pass the sweep grammar."""
+
+    id = "OBS001"
+    title = "invalid sweep metric name literal"
+    interests = (ast.Constant,)
+
+    def __init__(self) -> None:
+        self._validate = None
+
+    def _validator(self):
+        if self._validate is None:
+            try:
+                from repro.sweep.metrics import validate_metric
+            except Exception:  # pragma: no cover - broken partial checkouts
+                def validate_metric(name: str) -> None:
+                    kind, _, rest = name.partition(":")
+                    if kind in ("counter", "gauge", "timer") and not rest:
+                        raise ValueError("metric %r names no registry metric" % name)
+
+            self._validate = validate_metric
+        return self._validate
+
+    def visit(self, node, ctx):
+        value = node.value
+        if not isinstance(value, str) or not _METRIC_LITERAL.match(value):
+            return
+        try:
+            self._validator()(value)
+        except ValueError as exc:
+            yield self.finding(node, ctx, str(exc))
+
+
+class MultiprocessingTargetRule(Rule):
+    """MP001: pool/process targets must be top-level picklable callables."""
+
+    id = "MP001"
+    title = "unpicklable multiprocessing target"
+    interests = (ast.Call,)
+
+    def _check_target(self, target: ast.AST, ctx: FileContext, via: str):
+        if isinstance(target, ast.Lambda):
+            return (
+                "a lambda passed to %s cannot be pickled under the spawn "
+                "start method; hoist it to a module-level function" % via
+            )
+        if isinstance(target, ast.Name):
+            name = target.id
+            if name in ctx.nested_defs and name not in ctx.toplevel_defs:
+                return (
+                    "%s() is defined inside another function, so %s cannot "
+                    "pickle it under the spawn start method; hoist it to "
+                    "module level" % (name, via)
+                )
+        return ""
+
+    def visit(self, node, ctx):
+        func = node.func
+        target = None
+        via = ""
+        if isinstance(func, ast.Attribute) and func.attr in _POOL_METHODS:
+            if node.args:
+                target = node.args[0]
+                via = "pool.%s" % func.attr
+        elif ctx.resolve(func) == "multiprocessing.Process":
+            for keyword in node.keywords:
+                if keyword.arg == "target":
+                    target = keyword.value
+                    via = "multiprocessing.Process(target=…)"
+        if target is None:
+            return
+        why = self._check_target(target, ctx, via)
+        if why:
+            yield self.finding(target, ctx, why)
+
+
+def default_rules() -> List[Rule]:
+    """Fresh instances of every shipped rule, in id order."""
+    return [
+        UnseededRandomRule(),
+        WallClockRule(),
+        EntropyRule(),
+        BuiltinHashRule(),
+        UnorderedIterationRule(),
+        MetricNameRule(),
+        MultiprocessingTargetRule(),
+    ]
+
+
+def rule_table() -> List[Tuple[str, str, str]]:
+    """(id, title, first docstring line) per rule — for ``--rules``."""
+    rows = []
+    for rule in default_rules():
+        doc = (rule.__class__.__doc__ or "").strip().splitlines()[0]
+        rows.append((rule.id, rule.title, doc))
+    return rows

@@ -118,6 +118,7 @@ class HeartbeatWriter:
 
 def clean_progress_dir(directory: str) -> None:
     """Drop stale heartbeats so a new run starts with an empty table."""
+    # repro: allow(DET005) -- deleting every match: removal order cannot leak
     for path in glob.glob(os.path.join(directory, "*" + HEARTBEAT_SUFFIX)):
         try:
             os.remove(path)

@@ -203,6 +203,8 @@ class EventLoop:
         )
         if tracer.enabled:
             tracer.emit(CAT_SIM, "run_start", time=self.now, pending=len(self._heap))
+        # repro: allow(DET002) -- wall time feeds only the obs rate gauges
+        # (events_per_sec, sim_to_wall_ratio), never simulated behaviour
         start_wall = _wall.perf_counter()
         start_now = self.now
         count = 0
@@ -218,6 +220,7 @@ class EventLoop:
             if max_events and count >= max_events:
                 exhausted = self.peek_time() is not None
                 break
+        # repro: allow(DET002) -- closes the obs-gauge interval opened above
         elapsed = _wall.perf_counter() - start_wall
         if metrics is not None:
             metrics.counter("sim.events_processed").inc_key((), count)

@@ -1,0 +1,334 @@
+"""Golden positive/negative fixtures per lint rule.
+
+Each rule gets at least one snippet that must fire and one that must
+stay silent, exercised through :func:`repro.lint.lint_file` so findings
+carry real line numbers.  Paths are synthetic — DET002's allowlist
+keys off path components, so the same snippet can be checked inside and
+outside the observability layer.
+"""
+
+import textwrap
+
+from repro.lint import default_rules, lint_file, rule_table
+
+
+def findings_for(source, path="src/repro/simnet/fake.py"):
+    return lint_file(path, default_rules(), source=textwrap.dedent(source))
+
+
+def rules_hit(source, path="src/repro/simnet/fake.py"):
+    return sorted({finding.rule for finding in findings_for(source, path)})
+
+
+class TestDET001UnseededRandom:
+    def test_module_level_call_fires(self):
+        findings = findings_for(
+            """
+            import random
+
+            def jitter():
+                return random.random()
+            """
+        )
+        assert [f.rule for f in findings] == ["DET001"]
+        assert findings[0].line == 5
+        assert "unseeded" in findings[0].message
+
+    def test_import_alias_is_tracked(self):
+        assert rules_hit(
+            """
+            import random as rnd
+
+            def pick():
+                return rnd.randint(0, 7)
+            """
+        ) == ["DET001"]
+
+    def test_from_import_of_function_fires_at_import(self):
+        findings = findings_for(
+            """
+            from random import randint
+            """
+        )
+        assert [f.rule for f in findings] == ["DET001"]
+        assert findings[0].line == 2
+
+    def test_unseeded_random_instance_fires(self):
+        assert rules_hit(
+            """
+            import random
+
+            RNG = random.Random()
+            """
+        ) == ["DET001"]
+
+    def test_seeded_instance_and_methods_are_clean(self):
+        assert rules_hit(
+            """
+            import random
+
+            RNG = random.Random(0xBEEF)
+
+            def pick():
+                return RNG.randint(0, 7)
+            """
+        ) == []
+
+    def test_from_import_of_random_class_is_clean(self):
+        assert rules_hit(
+            """
+            from random import Random
+
+            RNG = Random(7)
+            """
+        ) == []
+
+
+class TestDET002WallClock:
+    def test_time_time_fires_outside_obs(self):
+        findings = findings_for(
+            """
+            import time
+
+            def stamp():
+                return time.time()
+            """
+        )
+        assert [f.rule for f in findings] == ["DET002"]
+        assert findings[0].line == 5
+
+    def test_perf_counter_from_import_fires(self):
+        assert rules_hit(
+            """
+            from time import perf_counter
+
+            def stamp():
+                return perf_counter()
+            """
+        ) == ["DET002"]
+
+    def test_datetime_now_fires_through_from_import(self):
+        assert rules_hit(
+            """
+            from datetime import datetime
+
+            def stamp():
+                return datetime.now()
+            """
+        ) == ["DET002"]
+
+    def test_module_alias_is_resolved(self):
+        assert rules_hit(
+            """
+            import time as _wall
+
+            def stamp():
+                return _wall.monotonic()
+            """
+        ) == ["DET002"]
+
+    def test_obs_layer_is_allowlisted(self):
+        source = """
+        import time
+
+        def stamp():
+            return time.time()
+        """
+        assert rules_hit(source, path="src/repro/obs/export.py") == []
+        assert rules_hit(source, path="tools/check_things.py") == []
+        assert rules_hit(source, path="benchmarks/bench_x.py") == []
+
+    def test_time_sleep_is_not_a_clock_read(self):
+        assert rules_hit(
+            """
+            import time
+
+            def nap():
+                time.sleep(1)
+            """
+        ) == []
+
+
+class TestDET003Entropy:
+    def test_mixed_entropy_sources_all_fire(self):
+        findings = findings_for(
+            """
+            import os
+            import secrets
+            import uuid
+
+            def token():
+                return os.urandom(8), uuid.uuid4(), secrets.token_hex(4)
+            """
+        )
+        assert [f.rule for f in findings] == ["DET003"] * 3
+
+    def test_each_entropy_source_fires(self):
+        for call in ("os.urandom(8)", "uuid.uuid4()", "secrets.token_hex(4)",
+                     "random.SystemRandom()"):
+            module = call.split(".")[0]
+            findings = findings_for(
+                "import %s\n\nVALUE = %s\n" % (module, call)
+            )
+            assert [f.rule for f in findings] == ["DET003"], call
+
+    def test_uuid5_is_deterministic_and_clean(self):
+        assert rules_hit(
+            """
+            import uuid
+
+            def name_based(ns, name):
+                return uuid.uuid5(ns, name)
+            """
+        ) == []
+
+
+class TestDET004BuiltinHash:
+    def test_builtin_hash_fires(self):
+        findings = findings_for(
+            """
+            def key(value):
+                return hash(value) & 0xFFFF
+            """
+        )
+        assert [f.rule for f in findings] == ["DET004"]
+        assert "blake2b" in findings[0].message
+
+    def test_hashlib_is_clean(self):
+        assert rules_hit(
+            """
+            import hashlib
+
+            def key(value):
+                return hashlib.blake2b(value, digest_size=8).digest()
+            """
+        ) == []
+
+
+class TestDET005UnorderedIteration:
+    def test_for_over_set_call_fires(self):
+        assert rules_hit(
+            """
+            def emit(values):
+                for value in set(values):
+                    print(value)
+            """
+        ) == ["DET005"]
+
+    def test_comprehension_over_set_literal_fires(self):
+        assert rules_hit(
+            """
+            def emit():
+                return [v for v in {3, 1, 2}]
+            """
+        ) == ["DET005"]
+
+    def test_glob_iteration_fires(self):
+        assert rules_hit(
+            """
+            import glob
+
+            def emit():
+                for path in glob.glob("*.pcap"):
+                    print(path)
+            """
+        ) == ["DET005"]
+
+    def test_sorted_wrapping_is_clean(self):
+        assert rules_hit(
+            """
+            import os
+
+            def emit(values):
+                for value in sorted(set(values)):
+                    print(value)
+                for name in sorted(os.listdir(".")):
+                    print(name)
+            """
+        ) == []
+
+    def test_dict_iteration_is_clean(self):
+        # Dict preserves insertion order in Python 3.7+: deterministic as
+        # long as insertions are — not this rule's business.
+        assert rules_hit(
+            """
+            def emit(mapping):
+                for key in mapping:
+                    print(key, mapping[key])
+            """
+        ) == []
+
+
+class TestOBS001MetricNames:
+    def test_bad_version_share_bucket_fires(self):
+        findings = findings_for('METRIC = "version_share.clients.bogus"\n')
+        assert [f.rule for f in findings] == ["OBS001"]
+        assert "version_share" in findings[0].message
+
+    def test_bare_registry_prefix_fires_nothing(self):
+        # Bare prefixes are the grammar machinery itself (prefix tables,
+        # startswith() checks) — only literals *naming* a metric count.
+        assert rules_hit('PREFIXES = ("counter:", "gauge:", "timer:")\n') == []
+
+    def test_valid_names_are_clean(self):
+        assert rules_hit(
+            'METRICS = ("rows.total", "counter:net.dropped",\n'
+            '           "version_share.clients.QUICv1",\n'
+            '           "scid_unique.Google", "timer:simulate.run")\n'
+        ) == []
+
+    def test_bad_scid_origin_fires(self):
+        assert rules_hit('METRIC = "scid_unique.Akamai"\n') == ["OBS001"]
+
+
+class TestMP001MultiprocessingTargets:
+    def test_lambda_pool_target_fires(self):
+        assert rules_hit(
+            """
+            def run(pool, items):
+                return pool.map(lambda item: item * 2, items)
+            """
+        ) == ["MP001"]
+
+    def test_nested_function_target_fires(self):
+        assert rules_hit(
+            """
+            def run(pool, items):
+                def work(item):
+                    return item * 2
+
+                return pool.imap_unordered(work, items)
+            """
+        ) == ["MP001"]
+
+    def test_process_lambda_target_fires(self):
+        assert rules_hit(
+            """
+            import multiprocessing
+
+            def run():
+                worker = multiprocessing.Process(target=lambda: None)
+                worker.start()
+            """
+        ) == ["MP001"]
+
+    def test_toplevel_target_is_clean(self):
+        assert rules_hit(
+            """
+            def work(item):
+                return item * 2
+
+            def run(pool, items):
+                return pool.map(work, items)
+            """
+        ) == []
+
+
+class TestRuleTable:
+    def test_every_rule_is_listed_with_id_and_title(self):
+        rows = rule_table()
+        ids = [row[0] for row in rows]
+        assert {"DET001", "DET002", "DET003", "DET004", "DET005",
+                "OBS001", "MP001"} == set(ids)
+        for _id, title, doc in rows:
+            assert title and doc

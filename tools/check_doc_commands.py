@@ -23,9 +23,11 @@ Placeholder arguments are deliberately *not* allowed — ``repro analyze
 keeps the book runnable by copy-paste.
 
 Exit status is the number of broken commands (0 = docs are clean), so
-the CI docs job can simply run ``PYTHONPATH=src python
+the CI lint job can simply run ``PYTHONPATH=src python
 tools/check_doc_commands.py``.  Used by
-``tests/docs/test_doc_commands.py`` as a tier-1 gate too.
+``tests/docs/test_doc_commands.py`` as a tier-1 gate too.  ``--json``
+emits the shared machine-readable report (see ``tools/_report.py``;
+same document shape as ``repro lint --json``).
 """
 
 from __future__ import annotations
@@ -37,6 +39,8 @@ import re
 import shlex
 import sys
 from typing import List, Tuple
+
+from _report import Report, split_json_flag
 
 #: The documents whose fenced ``repro`` commands we guarantee.
 DOCS = (
@@ -150,23 +154,25 @@ def check_file(path: str) -> Tuple[int, List[str]]:
 
 
 def main(argv: List[str]) -> int:
+    json_mode, args = split_json_flag(argv[1:])
     repo_root = os.path.abspath(
-        argv[1] if len(argv) > 1 else os.path.join(os.path.dirname(__file__), "..")
+        args[0] if args else os.path.join(os.path.dirname(__file__), "..")
     )
     sys.path.insert(0, os.path.join(repo_root, "src"))
     total = 0
-    errors: List[str] = []
+    report = Report("check-doc-commands")
     for name in DOCS:
         doc = os.path.join(repo_root, name)
         if os.path.exists(doc):
             seen, bad = check_file(doc)
             total += seen
-            errors.extend(bad)
-    for error in errors:
-        print(error, file=sys.stderr)
-    if not errors:
-        print("doc commands ok (%d commands, %d documents)" % (total, len(DOCS)))
-    return len(errors)
+            for error in bad:
+                report.add_text(error)
+    report.checked = total
+    return report.emit(
+        "doc commands ok (%d commands, %d documents)" % (total, len(DOCS)),
+        json_mode=json_mode,
+    )
 
 
 if __name__ == "__main__":

@@ -16,8 +16,10 @@ can validate offline:
   CI must not depend on the network.
 
 Exit status is the number of broken links (0 = docs are clean), so the
-CI docs job can simply run ``python tools/check_md_links.py``.  Used by
-``tests/docs/test_md_links.py`` as a tier-1 gate too.
+CI lint job can simply run ``python tools/check_md_links.py``.  Used by
+``tests/docs/test_md_links.py`` as a tier-1 gate too.  ``--json`` emits
+the shared machine-readable report (see ``tools/_report.py``; same
+document shape as ``repro lint --json``).
 """
 
 from __future__ import annotations
@@ -26,6 +28,8 @@ import os
 import re
 import sys
 from typing import Iterable, List, Tuple
+
+from _report import Report, split_json_flag
 
 #: The documents whose links we guarantee.  Anchor *targets* may live in
 #: any file these link to, not just this list.
@@ -129,19 +133,20 @@ def check_file(path: str, repo_root: str) -> List[str]:
 
 
 def main(argv: List[str]) -> int:
+    json_mode, args = split_json_flag(argv[1:])
     repo_root = os.path.abspath(
-        argv[1] if len(argv) > 1 else os.path.join(os.path.dirname(__file__), "..")
+        args[0] if args else os.path.join(os.path.dirname(__file__), "..")
     )
-    errors: List[str] = []
+    report = Report("check-md-links")
     for name in DOCS:
         doc = os.path.join(repo_root, name)
         if os.path.exists(doc):
-            errors.extend(check_file(doc, repo_root))
-    for error in errors:
-        print(error, file=sys.stderr)
-    if not errors:
-        print("markdown links ok (%d documents)" % len(DOCS))
-    return len(errors)
+            report.checked += 1
+            for error in check_file(doc, repo_root):
+                report.add_text(error)
+    return report.emit(
+        "markdown links ok (%d documents)" % len(DOCS), json_mode=json_mode
+    )
 
 
 if __name__ == "__main__":

@@ -12,6 +12,8 @@ command line, so CI can gate every exported profile:
 
 Exit status is the number of invalid files (0 = all valid).  Unreadable
 or non-JSON files count as invalid rather than crashing the run.
+``--json`` emits the shared machine-readable report (see
+``tools/_report.py``; same document shape as ``repro lint --json``).
 """
 
 from __future__ import annotations
@@ -25,6 +27,7 @@ sys.path.insert(
     0, os.path.join(os.path.dirname(__file__), os.pardir, "src")
 )  # runnable from a bare checkout, no install step needed
 
+from _report import Report, split_json_flag  # noqa: E402
 from repro.obs.prof import validate_speedscope  # noqa: E402
 
 
@@ -41,19 +44,22 @@ def check_file(path: str) -> List[str]:
 
 
 def main(argv: List[str]) -> int:
-    paths = argv[1:]
-    if not paths:
-        print("usage: check_speedscope.py FILE [FILE...]", file=sys.stderr)
+    json_mode, args = split_json_flag(argv[1:])
+    if not args:
+        print("usage: check_speedscope.py [--json] FILE [FILE...]", file=sys.stderr)
         return 2
+    report = Report("check-speedscope")
     bad = 0
-    for path in paths:
+    for path in args:
+        report.checked += 1
         problems = check_file(path)
         if problems:
             bad += 1
             for problem in problems:
-                print("%s: %s" % (path, problem), file=sys.stderr)
-        else:
+                report.add(problem, path=path)
+        elif not json_mode:
             print("%s: valid speedscope profile" % path)
+    report.emit("speedscope files ok (%d)" % report.checked, json_mode=json_mode)
     return bad
 
 
