@@ -355,6 +355,23 @@ def _load_shard_capture(paths: list[str], args: argparse.Namespace, obs: Observa
     return ClassifiedView(table, stats)
 
 
+def _workers_arg(value: str):
+    """``--workers`` accepts an integer or the literal ``auto``.
+
+    ``auto`` is resolved against the scenario config by
+    :func:`repro.simnet.shard.resolve_workers` once the config is built
+    (the planned shard count depends on scale).
+    """
+    if value == "auto":
+        return value
+    try:
+        return int(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            "--workers expects an integer or 'auto', got %r" % value
+        ) from None
+
+
 # ---------------------------------------------------------------------------
 # Commands
 # ---------------------------------------------------------------------------
@@ -368,6 +385,9 @@ def cmd_simulate(args: argparse.Namespace) -> int:
     )
     config = config.scaled(args.scale)
     args._speedscope_default = args.output + ".speedscope.json"
+    from repro.simnet.shard import resolve_workers
+
+    args.workers = resolve_workers(args.workers, config)
     if args.workers > 1:
         return _simulate_sharded(args, config)
     if args.keep_shards or args.no_merge:
@@ -1545,12 +1565,14 @@ def build_parser() -> argparse.ArgumentParser:
     simulate.add_argument("--seed", type=int, default=20220101)
     simulate.add_argument(
         "--workers",
-        type=int,
+        type=_workers_arg,
         default=1,
-        metavar="N",
+        metavar="N|auto",
         help="shard the scenario across N worker processes and merge the "
         "captures into one time-ordered pcap (1 = serial; the merged "
-        "output is identical for any N at the same seed and scale)",
+        "output is identical for any N at the same seed and scale); "
+        "'auto' resolves to min(cpu count, planned shards) and falls "
+        "back to serial on 1-CPU boxes",
     )
     simulate.add_argument(
         "--keep-shards",

@@ -31,6 +31,12 @@ rule id     invariant
             (picklable) callables — lambdas and nested functions fail at
             runtime under the spawn start method only, i.e. on someone
             else's machine
+``PERF001`` hot write-side modules (``quic/``, ``netstack/``,
+            ``server/engine.py``) must not accumulate packets with
+            ``bytes +=`` or construct AES/GHASH schedules
+            (``AesGcm``/``AES128``/``derive_initial_keys``) inside loop
+            bodies — both are quadratic/per-packet costs the template
+            and memo planes exist to amortize
 ==========  =============================================================
 
 Rules are small classes with an ``interests`` tuple of AST node types
@@ -357,6 +363,98 @@ class MultiprocessingTargetRule(Rule):
             yield self.finding(target, ctx, why)
 
 
+class PacketHotLoopRule(Rule):
+    """PERF001: no per-packet rebuild work inside hot write-side loops."""
+
+    id = "PERF001"
+    title = "per-packet rebuild inside hot-path loop"
+    interests = (ast.For, ast.While, ast.AsyncFor)
+
+    #: Constructors whose work the memo plane (repro.quic.crypto.memo)
+    #: amortizes; building one per loop iteration re-expands the key
+    #: schedule / GHASH tables the cache already holds.
+    _SCHEDULE_BUILDERS = frozenset({"AesGcm", "AES128", "derive_initial_keys"})
+
+    def __init__(self) -> None:
+        self._accumulator_cache: Tuple[str, frozenset] = ("", frozenset())
+
+    @staticmethod
+    def _hot(ctx: FileContext) -> bool:
+        parts = ctx.parts
+        return (
+            "quic" in parts
+            or "netstack" in parts
+            or parts[-2:] == ("server", "engine.py")
+        )
+
+    def _bytes_accumulators(self, ctx: FileContext) -> frozenset:
+        """Names assigned a ``bytes`` constant or ``bytes()`` call anywhere
+        in the module — the candidates whose ``+=`` builds an O(n²) copy
+        chain.  ``bytearray`` targets amortize and are exempt.
+        """
+        if self._accumulator_cache[0] == ctx.path:
+            return self._accumulator_cache[1]
+        names = set()
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, (ast.Assign, ast.AnnAssign)):
+                continue
+            value = node.value
+            is_bytes = isinstance(value, ast.Constant) and isinstance(
+                value.value, bytes
+            )
+            if isinstance(value, ast.Call) and ctx.resolve(value.func) == "bytes":
+                is_bytes = True
+            if not is_bytes:
+                continue
+            targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+            for target in targets:
+                if isinstance(target, ast.Name):
+                    names.add(target.id)
+        result = frozenset(names)
+        self._accumulator_cache = (ctx.path, result)
+        return result
+
+    def _loop_body(self, node: ast.AST) -> Iterator[ast.AST]:
+        """Walk the loop body, skipping nested loops (visited separately)."""
+        stack = list(node.body)
+        while stack:
+            child = stack.pop()
+            if isinstance(child, (ast.For, ast.While, ast.AsyncFor)):
+                continue
+            yield child
+            stack.extend(ast.iter_child_nodes(child))
+
+    def visit(self, node, ctx):
+        if not self._hot(ctx):
+            return
+        accumulators = self._bytes_accumulators(ctx)
+        for child in self._loop_body(node):
+            if (
+                isinstance(child, ast.AugAssign)
+                and isinstance(child.op, ast.Add)
+                and isinstance(child.target, ast.Name)
+                and child.target.id in accumulators
+            ):
+                yield self.finding(
+                    child,
+                    ctx,
+                    "%s += … accumulates immutable bytes per iteration (an "
+                    "O(n²) copy chain on a per-packet path); append to a "
+                    "bytearray or collect parts and b''.join them"
+                    % child.target.id,
+                )
+            elif isinstance(child, ast.Call):
+                name = ctx.resolve(child.func)
+                if name.rpartition(".")[2] in self._SCHEDULE_BUILDERS and name:
+                    yield self.finding(
+                        child,
+                        ctx,
+                        "%s() inside a loop re-expands a key schedule the "
+                        "memo plane already caches; hoist it out of the loop "
+                        "or go through repro.quic.crypto.memo" % name,
+                    )
+
+
 def default_rules() -> List[Rule]:
     """Fresh instances of every shipped rule, in id order."""
     return [
@@ -367,6 +465,7 @@ def default_rules() -> List[Rule]:
         UnorderedIterationRule(),
         MetricNameRule(),
         MultiprocessingTargetRule(),
+        PacketHotLoopRule(),
     ]
 
 

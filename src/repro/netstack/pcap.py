@@ -73,6 +73,19 @@ class PcapWriter:
         for record in records:
             self.write(record)
 
+    def write_raw(self, ts_sec: int, ts_usec: int, data) -> None:
+        """Write one record from pre-split timestamp parts and a buffer.
+
+        ``data`` may be any bytes-like object (the columnar capture
+        buffer passes ``memoryview`` slices, avoiding per-record copies).
+        """
+        length = len(data)
+        included = data[: self._snaplen] if length > self._snaplen else data
+        self._file.write(
+            _RECORD_HEADER.pack(ts_sec, ts_usec, len(included), length)
+        )
+        self._file.write(included)
+
     def __enter__(self) -> "PcapWriter":
         return self
 

@@ -23,16 +23,16 @@ def hkdf_expand(prk: bytes, info: bytes, length: int) -> bytes:
     """HKDF-Expand(PRK, info, L) with SHA-256."""
     if length > 255 * _HASH_LEN:
         raise ValueError("HKDF-Expand length too large: %d" % length)
-    output = b""
+    blocks = []
     block = b""
     counter = 1
-    while len(output) < length:
+    while len(blocks) * _HASH_LEN < length:
         block = hmac.new(
             prk, block + info + bytes([counter]), hashlib.sha256
         ).digest()
-        output += block
+        blocks.append(block)
         counter += 1
-    return output[:length]
+    return b"".join(blocks)[:length]
 
 
 def hkdf_expand_label(secret: bytes, label: str, context: bytes, length: int) -> bytes:

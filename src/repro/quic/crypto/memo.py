@@ -1,0 +1,81 @@
+"""Deterministic memoization of the pure crypto derivations.
+
+BENCH_prof.json showed 15k ``engine.aead`` calls against only 579
+``engine.keys`` derivations — key material is reused almost totally,
+yet every connection used to re-run HKDF, re-expand AES round keys and
+re-build GHASH Shoup tables from scratch.  All three derivations are
+pure functions of small byte keys, so they sit behind module-level
+:class:`~repro.hotpath.LruCache` instances shared by every suite
+instance in the process:
+
+* ``cached_initial_keys(version, dcid)`` — the full RFC 9001 Initial
+  key schedule (HKDF-Extract + 8 Expand-Labels).
+* ``cached_aes(key)`` — an :class:`AES128` with its round keys expanded
+  (header protection, and the GCM block cipher).
+* ``cached_gcm(key)`` — an :class:`AesGcm` with its GHASH byte tables
+  built (the expensive one: 16×256 field multiplications per key).
+
+The cached objects are safe to share: ``InitialKeys`` is frozen, and
+``AES128``/``AesGcm`` carry no per-call state.  When the hot path is
+disabled (:mod:`repro.hotpath`), every helper falls through to a fresh
+derivation so the memo-vs-cold bench arm measures honestly.
+"""
+
+from __future__ import annotations
+
+from repro import hotpath
+from repro.hotpath import LruCache
+from repro.quic.crypto.aes import AES128
+from repro.quic.crypto.gcm import AesGcm
+from repro.quic.crypto.initial import InitialKeys, derive_initial_keys
+
+#: A telescope month sees a long tail of one-shot DCIDs; 4096 entries
+#: comfortably covers the working set of live connections plus scanners.
+_INITIAL_KEYS_CACHE = LruCache(4096)
+#: Key schedules are heavier per entry (GHASH tables ≈ 4096 big ints);
+#: Initial traffic derives server/client keys per DCID, so the working
+#: set matches the connection cache.
+_AES_CACHE = LruCache(1024)
+_GCM_CACHE = LruCache(1024)
+
+
+def cached_initial_keys(version: int, dcid: bytes) -> InitialKeys:
+    """Memoized :func:`derive_initial_keys` per ``(version, DCID)``."""
+    if not hotpath.enabled:
+        return derive_initial_keys(version, dcid)
+    return _INITIAL_KEYS_CACHE.get_or_build(
+        (version, dcid), lambda: derive_initial_keys(version, dcid)
+    )
+
+
+def cached_aes(key: bytes) -> AES128:
+    """Memoized AES-128 key-schedule expansion per 16-byte key."""
+    if not hotpath.enabled:
+        return AES128(key)
+    return _AES_CACHE.get_or_build(key, lambda: AES128(key))
+
+
+def cached_gcm(key: bytes) -> AesGcm:
+    """Memoized AES-GCM instance (round keys + GHASH tables) per key."""
+    if not hotpath.enabled:
+        return AesGcm(key)
+    return _GCM_CACHE.get_or_build(key, lambda: AesGcm(key))
+
+
+def clear_crypto_memos() -> None:
+    """Drop all cached schedules (bench cold arms, test isolation)."""
+    _INITIAL_KEYS_CACHE.clear()
+    _AES_CACHE.clear()
+    _GCM_CACHE.clear()
+
+
+def memo_stats() -> dict:
+    """Hit/miss counters for the bench report."""
+    return {
+        "initial_keys": {
+            "hits": _INITIAL_KEYS_CACHE.hits,
+            "misses": _INITIAL_KEYS_CACHE.misses,
+        },
+        "aes": {"hits": _AES_CACHE.hits, "misses": _AES_CACHE.misses},
+        "gcm": {"hits": _GCM_CACHE.hits, "misses": _GCM_CACHE.misses},
+    }

@@ -21,9 +21,10 @@ from __future__ import annotations
 import hashlib
 import hmac
 
-from repro.quic.crypto.aes import AES128
+from repro import hotpath
 from repro.quic.crypto.gcm import AesGcm, AuthenticationError
-from repro.quic.crypto.initial import DirectionKeys, InitialKeys, derive_initial_keys
+from repro.quic.crypto.initial import DirectionKeys, InitialKeys
+from repro.quic.crypto.memo import cached_aes, cached_gcm, cached_initial_keys
 
 #: RFC 9001 §5.4.2: at least 4 bytes after the packet-number offset must
 #: exist before the 16-byte header-protection sample.
@@ -56,7 +57,10 @@ class PacketProtection:
     def __init__(self, version: int, client_dcid: bytes) -> None:
         self.version = version
         self.client_dcid = bytes(client_dcid)
-        self.keys: InitialKeys = derive_initial_keys(version, self.client_dcid)
+        # Memoized per (version, DCID): scanners and retransmitting
+        # clients re-present the same DCID, and dissectors re-derive the
+        # same schedule the engine just used (see repro.quic.crypto.memo).
+        self.keys: InitialKeys = cached_initial_keys(version, self.client_dcid)
 
     # -- primitives supplied by subclasses ---------------------------------
     def _seal(self, keys: DirectionKeys, nonce: bytes, plaintext: bytes, aad: bytes) -> bytes:
@@ -165,26 +169,19 @@ class Rfc9001Protection(PacketProtection):
 
     name = "rfc9001"
 
-    def __init__(self, version: int, client_dcid: bytes) -> None:
-        super().__init__(version, client_dcid)
-        self._aead_cache: dict[bytes, AesGcm] = {}
-        self._hp_cache: dict[bytes, AES128] = {}
-
-    def _aead(self, key: bytes) -> AesGcm:
-        if key not in self._aead_cache:
-            self._aead_cache[key] = AesGcm(key)
-        return self._aead_cache[key]
+    # AES schedules and GHASH tables are memoized process-wide (they are
+    # pure functions of the 16-byte key), so two connections sharing a
+    # DCID — or a dissector re-opening what the engine sealed — expand
+    # each key exactly once.
 
     def _seal(self, keys: DirectionKeys, nonce: bytes, plaintext: bytes, aad: bytes) -> bytes:
-        return self._aead(keys.key).seal(nonce, plaintext, aad)
+        return cached_gcm(keys.key).seal(nonce, plaintext, aad)
 
     def _open(self, keys: DirectionKeys, nonce: bytes, sealed: bytes, aad: bytes) -> bytes:
-        return self._aead(keys.key).open(nonce, sealed, aad)
+        return cached_gcm(keys.key).open(nonce, sealed, aad)
 
     def _hp_mask(self, keys: DirectionKeys, sample: bytes) -> bytes:
-        if keys.hp not in self._hp_cache:
-            self._hp_cache[keys.hp] = AES128(keys.hp)
-        return self._hp_cache[keys.hp].encrypt_block(sample)[:5]
+        return cached_aes(keys.hp).encrypt_block(sample)[:5]
 
 
 class FastProtection(PacketProtection):
@@ -215,6 +212,50 @@ class FastProtection(PacketProtection):
         ciphertext = self._xor(plaintext, stream)
         tag = hmac.new(keys.key, nonce + aad + ciphertext, hashlib.sha256).digest()
         return ciphertext + tag[:TAG_LENGTH]
+
+    def protect(
+        self,
+        is_server: bool,
+        header: bytes,
+        packet_number: int,
+        payload: bytes,
+    ) -> bytes:
+        """Fused seal + header protection for the template hot path.
+
+        Byte-identical to the base driver (the parity tests and the
+        bench gate hold it to that); it exists to collapse the six
+        Python-level calls per packet — for_sender, _seal, _keystream,
+        _xor, _hp_mask, hmac.new().digest() — into straight-line code
+        with one-shot :func:`hmac.digest`.  Falls back to the driver
+        when profiling (the engine.aead / engine.hp leaves live there)
+        or when the hot path is disabled (the rebuild baseline must pay
+        pre-refactor costs).
+        """
+        if self.prof is not None or not hotpath.enabled:
+            return PacketProtection.protect(
+                self, is_server, header, packet_number, payload
+            )
+        keys = self.keys.server if is_server else self.keys.client
+        key = keys.key
+        nonce = (keys.iv_int ^ packet_number).to_bytes(12, "big")
+        stream = hashlib.shake_256(key + nonce).digest(len(payload))
+        ciphertext = (
+            int.from_bytes(payload, "big") ^ int.from_bytes(stream, "big")
+        ).to_bytes(len(payload), "big")
+        packet = bytearray(header)
+        packet += ciphertext
+        packet += hmac.digest(key, nonce + header + ciphertext, "sha256")[:TAG_LENGTH]
+        pn_length = (header[0] & 0x03) + 1
+        pn_offset = len(header) - pn_length
+        sample_start = pn_offset + SAMPLE_OFFSET
+        sample = bytes(packet[sample_start : sample_start + SAMPLE_LENGTH])
+        if len(sample) != SAMPLE_LENGTH:
+            raise ProtectionError("packet too short to sample for header protection")
+        mask = hashlib.sha256(keys.hp + sample).digest()
+        packet[0] ^= mask[0] & (0x0F if header[0] & 0x80 else 0x1F)
+        for i in range(pn_length):
+            packet[pn_offset + i] ^= mask[1 + i]
+        return bytes(packet)
 
     def _open(self, keys: DirectionKeys, nonce: bytes, sealed: bytes, aad: bytes) -> bytes:
         if len(sealed) < TAG_LENGTH:

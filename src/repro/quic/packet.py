@@ -17,7 +17,9 @@ import enum
 import hashlib
 from dataclasses import dataclass, field
 
+from repro import hotpath
 from repro.buffer import BufferError_, Reader, Writer
+from repro.hotpath import LruCache
 from repro.quic.crypto.suites import PacketProtection, ProtectionError, TAG_LENGTH
 from repro.quic.varint import encode_varint, read_varint, varint_length
 from repro.quic.version import VERSION_NEGOTIATION
@@ -139,8 +141,167 @@ class ParsedLongHeader:
 
 
 # ---------------------------------------------------------------------------
-# Encoding
+# Encoding — template fast path and the rebuild reference path
 # ---------------------------------------------------------------------------
+
+
+class PacketTemplate:
+    """Precomputed long-header skeleton for one packet *shape*.
+
+    A shape is everything that determines header bytes except the CID,
+    token and packet-number *values*: type, version, field lengths.  The
+    skeleton is built once per shape (engine flights reuse a handful of
+    shapes per profile for a whole month) and rendering reduces to a
+    ``bytearray`` copy plus three or four slice splices — no
+    :class:`~repro.buffer.Writer`, no varint re-encoding.
+    Byte-parity with the rebuild path is asserted per server profile in
+    the template tests and re-checked by ``bench_hotpath.py``.
+    """
+
+    __slots__ = (
+        "skeleton",
+        "dcid_off",
+        "scid_off",
+        "token_off",
+        "pn_off",
+        "pn_length",
+    )
+
+    def __init__(
+        self,
+        packet_type: PacketType,
+        version: int,
+        dcid_len: int,
+        scid_len: int,
+        token_len: int,
+        payload_len: int,
+        pn_length: int,
+    ) -> None:
+        if dcid_len > 20 or scid_len > 20:
+            raise PacketParseError("connection IDs are at most 20 bytes")
+        if not 1 <= pn_length <= 4:
+            raise PacketParseError("packet number length must be 1..4")
+        skeleton = bytearray()
+        skeleton.append(
+            FORM_BIT | FIXED_BIT | (packet_type.value << 4) | (pn_length - 1)
+        )
+        skeleton += version.to_bytes(4, "big")
+        skeleton.append(dcid_len)
+        self.dcid_off = len(skeleton)
+        skeleton += bytes(dcid_len)
+        skeleton.append(scid_len)
+        self.scid_off = len(skeleton)
+        skeleton += bytes(scid_len)
+        if packet_type is PacketType.INITIAL:
+            skeleton += encode_varint(token_len)
+            self.token_off = len(skeleton)
+            skeleton += bytes(token_len)
+        else:
+            self.token_off = len(skeleton)
+        length = pn_length + payload_len + TAG_LENGTH
+        # Stable 2-byte-minimum Length varint, same as the rebuild path.
+        skeleton += encode_varint(length, width=max(2, varint_length(length)))
+        self.pn_off = len(skeleton)
+        skeleton += bytes(pn_length)
+        self.skeleton = skeleton
+        self.pn_length = pn_length
+
+    def render(
+        self, dcid: bytes, scid: bytes, packet_number: int, token: bytes = b""
+    ) -> bytes:
+        """Splice the per-packet fields into a copy of the skeleton."""
+        header = self.skeleton.copy()
+        header[self.dcid_off : self.dcid_off + len(dcid)] = dcid
+        header[self.scid_off : self.scid_off + len(scid)] = scid
+        if token:
+            header[self.token_off : self.token_off + len(token)] = token
+        pn_length = self.pn_length
+        header[self.pn_off :] = (
+            packet_number & ((1 << (8 * pn_length)) - 1)
+        ).to_bytes(pn_length, "big")
+        return bytes(header)
+
+
+class ShortPacketTemplate:
+    """Short-header analogue of :class:`PacketTemplate` (1-RTT packets)."""
+
+    __slots__ = ("first", "pn_length")
+
+    def __init__(self, pn_length: int, spin_bit: bool) -> None:
+        if not 1 <= pn_length <= 4:
+            raise PacketParseError("packet number length must be 1..4")
+        first = FIXED_BIT | (pn_length - 1)
+        if spin_bit:
+            first |= 0x20
+        self.first = bytes([first])
+        self.pn_length = pn_length
+
+    def render(self, dcid: bytes, packet_number: int) -> bytes:
+        pn_length = self.pn_length
+        return (
+            self.first
+            + dcid
+            + ((packet_number & ((1 << (8 * pn_length)) - 1)).to_bytes(pn_length, "big"))
+        )
+
+
+_PACKET_TEMPLATES = LruCache(1024)
+_SHORT_TEMPLATES = LruCache(64)
+
+
+def packet_template(
+    packet_type: PacketType,
+    version: int,
+    dcid_len: int,
+    scid_len: int,
+    token_len: int,
+    payload_len: int,
+    pn_length: int,
+) -> PacketTemplate:
+    """Fetch (or build) the cached template for one long-header shape."""
+    key = (packet_type, version, dcid_len, scid_len, token_len, payload_len, pn_length)
+    return _PACKET_TEMPLATES.get_or_build(
+        key, lambda: PacketTemplate(*key)
+    )
+
+
+def short_packet_template(pn_length: int, spin_bit: bool) -> ShortPacketTemplate:
+    return _SHORT_TEMPLATES.get_or_build(
+        (pn_length, spin_bit), lambda: ShortPacketTemplate(pn_length, spin_bit)
+    )
+
+
+def header_length(
+    packet_type: PacketType,
+    dcid_len: int,
+    scid_len: int,
+    token_len: int,
+    payload_len: int,
+    pn_length: int,
+) -> int:
+    """Length of the unprotected header for one long-header shape."""
+    length = 1 + 4 + 1 + dcid_len + 1 + scid_len
+    if packet_type is PacketType.INITIAL:
+        length += varint_length(token_len) + token_len
+    body = pn_length + payload_len + TAG_LENGTH
+    return length + max(2, varint_length(body)) + pn_length
+
+
+def encoded_packet_length(packet: LongHeaderPacket) -> int:
+    """On-wire length of ``packet`` once protected (header + payload + tag)."""
+    payload_len = len(packet.payload)
+    return (
+        header_length(
+            packet.packet_type,
+            len(packet.dcid),
+            len(packet.scid),
+            len(packet.token),
+            payload_len,
+            packet.pn_length,
+        )
+        + payload_len
+        + TAG_LENGTH
+    )
 
 
 def encode_packet(
@@ -149,6 +310,31 @@ def encode_packet(
     is_server: bool,
 ) -> bytes:
     """Serialize and protect one long-header packet."""
+    if hotpath.enabled:
+        template = packet_template(
+            packet.packet_type,
+            packet.version,
+            len(packet.dcid),
+            len(packet.scid),
+            len(packet.token),
+            len(packet.payload),
+            packet.pn_length,
+        )
+        header = template.render(
+            packet.dcid, packet.scid, packet.packet_number, packet.token
+        )
+        return protection.protect(
+            is_server, header, packet.packet_number, packet.payload
+        )
+    return _encode_packet_rebuild(packet, protection, is_server)
+
+
+def _encode_packet_rebuild(
+    packet: LongHeaderPacket,
+    protection: PacketProtection,
+    is_server: bool,
+) -> bytes:
+    """Field-by-field reference encoder (parity baseline for templates)."""
     writer = Writer()
     first = (
         FORM_BIT
@@ -238,10 +424,45 @@ def encode_datagram(
     packet's payload is extended with PADDING frames (0x00 bytes) so the
     datagram reaches the target size — the standard way stacks satisfy the
     1200-byte Initial minimum.
+
+    On the template fast path the padding deficit is computed analytically
+    from :func:`encoded_packet_length`, so every packet — padded last one
+    included — is sealed exactly once.  The reference path below measures
+    by encoding and then re-encodes the padded tail packet, i.e. seals it
+    twice; both produce identical bytes.
     """
     if not packets:
         raise PacketParseError("cannot encode an empty datagram")
-    encoded = [encode_packet(p, protection, is_server) for p in packets]
+    if hotpath.enabled:
+        pad = 0
+        if pad_to:
+            total = sum(encoded_packet_length(p) for p in packets)
+            if total < pad_to:
+                pad = pad_to - total
+        parts = []
+        tail = len(packets) - 1
+        for index, packet in enumerate(packets):
+            payload = packet.payload
+            if pad and index == tail:
+                # One-shot pad of the tail packet, not an accumulation.
+                payload = payload + b"\x00" * pad
+            template = packet_template(
+                packet.packet_type,
+                packet.version,
+                len(packet.dcid),
+                len(packet.scid),
+                len(packet.token),
+                len(payload),
+                packet.pn_length,
+            )
+            header = template.render(
+                packet.dcid, packet.scid, packet.packet_number, packet.token
+            )
+            parts.append(
+                protection.protect(is_server, header, packet.packet_number, payload)
+            )
+        return b"".join(parts)
+    encoded = [_encode_packet_rebuild(p, protection, is_server) for p in packets]
     total = sum(len(e) for e in encoded)
     if pad_to and total < pad_to:
         deficit = pad_to - total
@@ -256,7 +477,7 @@ def encode_datagram(
             token=last.token,
             pn_length=last.pn_length,
         )
-        encoded[-1] = encode_packet(padded, protection, is_server)
+        encoded[-1] = _encode_packet_rebuild(padded, protection, is_server)
     return b"".join(encoded)
 
 
@@ -282,6 +503,13 @@ def encode_short_packet(
     """
     if not 1 <= packet.pn_length <= 4:
         raise PacketParseError("packet number length must be 1..4")
+    if hotpath.enabled:
+        header = short_packet_template(packet.pn_length, packet.spin_bit).render(
+            packet.dcid, packet.packet_number
+        )
+        return protection.protect(
+            is_server, header, packet.packet_number, packet.payload
+        )
     writer = Writer()
     first = FIXED_BIT | (packet.pn_length - 1)
     if packet.spin_bit:

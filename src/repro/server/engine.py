@@ -22,6 +22,7 @@ import random
 from dataclasses import dataclass, field
 from typing import Callable, Optional
 
+from repro import hotpath
 from repro.netstack.udp import UdpDatagram
 from repro.obs import NULL_OBS, Observability
 from repro.obs.trace import (
@@ -32,7 +33,12 @@ from repro.obs.trace import (
 )
 from repro.quic.cid.base import CidContext, RandomScheme
 from repro.quic.cid.google import GoogleEchoScheme
-from repro.quic.crypto.suites import PacketProtection, ProtectionError, suite_by_name
+from repro.quic.crypto.suites import (
+    PacketProtection,
+    ProtectionError,
+    TAG_LENGTH,
+    suite_by_name,
+)
 from repro.quic.frames import (
     AckFrame,
     AckRange,
@@ -56,6 +62,8 @@ from repro.quic.packet import (
     encode_retry,
     encode_short_packet,
     encode_version_negotiation,
+    header_length,
+    packet_template,
     parse_short_header,
     unprotect_short_packet,
 )
@@ -132,6 +140,8 @@ class ServerConnection:
     #: Private rng derived from the engine seed and the client's
     #: (address, port, DCID) — see :meth:`QuicServerEngine._derive_rng`.
     rng: Optional[random.Random] = None
+    #: Lazily built :class:`_FlightLayout` (template fast path only).
+    flight_layout: Optional["_ConnFlight"] = None
 
     def consistent_with(self, datagram: UdpDatagram, client_scid: bytes) -> bool:
         """Does this packet plausibly continue the stored connection?"""
@@ -158,6 +168,194 @@ class EngineStats:
     migrations_accepted: int = 0
     stateless_resets_sent: int = 0
     new_cids_issued: int = 0
+
+
+class _FlightLayout:
+    """Precomputed Initial+Handshake flight bytes for one flight *shape*.
+
+    Everything in a handshake flight is determined by the connection's
+    shape — ``(version, dcid length, scid length, coalesced)`` — except
+    the 32-byte ServerHello random, the server CID, the two header CIDs
+    and the two packet numbers: the transport parameters, ACK and CRYPTO
+    framing, padding, both header skeletons (via
+    :func:`~repro.quic.packet.packet_template`) and the padding deficits
+    (computed analytically from
+    :func:`~repro.quic.packet.header_length`, matching the reference
+    path's measure-then-pad arithmetic) are all shared.  The engine
+    keeps one layout per shape; :meth:`bind` splices a connection's CIDs
+    into the shared skeletons once, after which every flight — and the
+    retransmissions that dominate emission, per Figure 3/4 — reduces to:
+    one rng draw, a three-way payload join, a header copy with a
+    one-byte PN patch, and one AEAD seal per packet.
+
+    The scid's offset inside the encrypted payload (it rides in the
+    INITIAL_SOURCE_CONNECTION_ID transport parameter) is located by
+    encoding the payload twice with two distinct sentinel CIDs and
+    diffing — collision-proof, unlike searching for a magic substring.
+    """
+
+    __slots__ = (
+        "prefix",
+        "mid",
+        "suffix",
+        "handshake_payload",
+        "initial_template",
+        "handshake_template",
+        "coalesced",
+    )
+
+    #: ServerHello random sentinel; replaced per flight by the rng draw.
+    _RANDOM_SENTINEL = bytes(range(32))
+
+    def __init__(
+        self,
+        engine: "QuicServerEngine",
+        version: int,
+        dcid_len: int,
+        scid_len: int,
+        coalesced: bool,
+    ) -> None:
+        profile = engine.profile
+        payload_a = self._initial_payload(profile, b"\x00" * scid_len)
+        payload_b = self._initial_payload(profile, b"\xff" * scid_len)
+        diff = [i for i in range(len(payload_a)) if payload_a[i] != payload_b[i]]
+        if scid_len:
+            scid_offset = diff[0]
+            if diff != list(range(scid_offset, scid_offset + scid_len)):
+                raise AssertionError("scid region is not contiguous in payload")
+        else:
+            scid_offset = len(payload_a)
+        random_offset = payload_a.index(self._RANDOM_SENTINEL)
+        if random_offset + 32 > scid_offset:
+            raise AssertionError("ServerHello random must precede the scid")
+        prefix = payload_a[:random_offset]
+        mid = payload_a[random_offset + 32 : scid_offset]
+        suffix = payload_a[scid_offset + scid_len :]
+        handshake_payload = engine._handshake_payload_bytes()
+
+        def encoded_length(packet_type: PacketType, payload_len: int) -> int:
+            return (
+                header_length(packet_type, dcid_len, scid_len, 0, payload_len, 1)
+                + payload_len
+                + TAG_LENGTH
+            )
+
+        initial_len = len(payload_a)
+        handshake_len = len(handshake_payload)
+        if coalesced:
+            total = encoded_length(PacketType.INITIAL, initial_len) + encoded_length(
+                PacketType.HANDSHAKE, handshake_len
+            )
+            handshake_pad = max(0, profile.coalesced_datagram_size - total)
+        else:
+            initial_pad = max(
+                0,
+                profile.initial_datagram_size
+                - encoded_length(PacketType.INITIAL, initial_len),
+            )
+            handshake_pad = max(
+                0,
+                profile.handshake_datagram_size
+                - encoded_length(PacketType.HANDSHAKE, handshake_len),
+            )
+            suffix += b"\x00" * initial_pad
+            initial_len += initial_pad
+        handshake_payload += b"\x00" * handshake_pad
+        handshake_len += handshake_pad
+
+        self.prefix = prefix
+        self.mid = mid
+        self.suffix = suffix
+        self.handshake_payload = handshake_payload
+        self.initial_template = packet_template(
+            PacketType.INITIAL, version, dcid_len, scid_len, 0, initial_len, 1
+        )
+        self.handshake_template = packet_template(
+            PacketType.HANDSHAKE, version, dcid_len, scid_len, 0, handshake_len, 1
+        )
+        self.coalesced = coalesced
+
+    @staticmethod
+    def _initial_payload(profile, scid: bytes) -> bytes:
+        params = TransportParameters()
+        params.set(INITIAL_SOURCE_CONNECTION_ID, scid)
+        params.set(MAX_IDLE_TIMEOUT, int(profile.idle_timeout * 1000))
+        params.set(MAX_UDP_PAYLOAD_SIZE, 1472)
+        params.set(ACTIVE_CONNECTION_ID_LIMIT, 4)
+        hello = encode_handshake(
+            ServerHello(
+                random=_FlightLayout._RANDOM_SENTINEL,
+                quic_transport_parameters=params.encode(),
+            )
+        )
+        return encode_frames(
+            [
+                AckFrame(largest_acked=0, ranges=(AckRange(0, 0),)),
+                CryptoFrame(offset=0, data=hello),
+            ]
+        )
+
+    def bind(self, conn: ServerConnection) -> "_ConnFlight":
+        """Splice one connection's CIDs into the shared skeletons."""
+        return _ConnFlight(
+            prefix=self.prefix,
+            suffix=b"".join((self.mid, conn.scid, self.suffix)),
+            handshake_payload=self.handshake_payload,
+            initial_header=bytearray(
+                self.initial_template.render(conn.client_cid, conn.scid, 0)
+            ),
+            handshake_header=bytearray(
+                self.handshake_template.render(conn.client_cid, conn.scid, 0)
+            ),
+            coalesced=self.coalesced,
+        )
+
+
+class _ConnFlight:
+    """One connection's bound flight: headers rendered, payload split."""
+
+    __slots__ = (
+        "prefix",
+        "suffix",
+        "handshake_payload",
+        "initial_header",
+        "handshake_header",
+        "coalesced",
+    )
+
+    def __init__(
+        self,
+        prefix: bytes,
+        suffix: bytes,
+        handshake_payload: bytes,
+        initial_header: bytearray,
+        handshake_header: bytearray,
+        coalesced: bool,
+    ) -> None:
+        self.prefix = prefix
+        self.suffix = suffix
+        self.handshake_payload = handshake_payload
+        self.initial_header = initial_header
+        self.handshake_header = handshake_header
+        self.coalesced = coalesced
+
+    def datagrams(self, conn: ServerConnection, rng: random.Random) -> list[bytes]:
+        """Emit one flight's datagrams (rng draw order matches rebuild)."""
+        random32 = rng.getrandbits(256).to_bytes(32, "big")
+        pn = conn.next_packet_number
+        conn.next_packet_number += 2
+        protection = conn.protection
+        header = self.initial_header.copy()
+        header[-1] = pn & 0xFF  # pn_length is 1 in every flight
+        initial = protection.protect(
+            True, header, pn, b"".join((self.prefix, random32, self.suffix))
+        )
+        header = self.handshake_header.copy()
+        header[-1] = (pn + 1) & 0xFF
+        handshake = protection.protect(True, header, pn + 1, self.handshake_payload)
+        if self.coalesced:
+            return [initial + handshake]
+        return [initial, handshake]
 
 
 class QuicServerEngine:
@@ -219,6 +417,9 @@ class QuicServerEngine:
             self._m_flight_bytes = None
             self._m_datagram_bytes = None
         self._suite = suite_by_name(profile.protection_suite)
+        #: Lazily encoded Handshake CRYPTO payload (constant per engine).
+        self._handshake_payload: Optional[bytes] = None
+        self._flight_layouts: dict[tuple, _FlightLayout] = {}
         #: Connections addressable by the server-chosen CID.
         self._by_scid: dict[bytes, ServerConnection] = {}
         #: Dedup of client Initials: (src, sport, original dcid) → connection.
@@ -596,6 +797,14 @@ class QuicServerEngine:
         raw = self.certificate.encode()
         return CERT_MAGIC + len(raw).to_bytes(2, "big") + raw
 
+    def _handshake_payload_bytes(self) -> bytes:
+        """The (engine-constant) Handshake CRYPTO payload, encoded once."""
+        if self._handshake_payload is None:
+            self._handshake_payload = encode_frames(
+                [CryptoFrame(offset=0, data=self._handshake_crypto())]
+            )
+        return self._handshake_payload
+
     def _send_flight(self, conn: ServerConnection, request: UdpDatagram) -> None:
         if self._prof is None:
             self._send_flight_inner(conn, request)
@@ -612,60 +821,22 @@ class QuicServerEngine:
     def _send_flight_inner(
         self, conn: ServerConnection, request: UdpDatagram, span=None
     ) -> None:
-        initial_payload = encode_frames(
-            [
-                AckFrame(largest_acked=0, ranges=(AckRange(0, 0),)),
-                CryptoFrame(offset=0, data=self._server_hello_bytes(conn)),
-            ]
-        )
-        handshake_payload = encode_frames(
-            [CryptoFrame(offset=0, data=self._handshake_crypto())]
-        )
-        initial_pkt = LongHeaderPacket(
-            packet_type=PacketType.INITIAL,
-            version=conn.version,
-            dcid=conn.client_cid,
-            scid=conn.scid,
-            packet_number=conn.next_packet_number,
-            payload=initial_payload,
-            pn_length=1,
-        )
-        handshake_pkt = LongHeaderPacket(
-            packet_type=PacketType.HANDSHAKE,
-            version=conn.version,
-            dcid=conn.client_cid,
-            scid=conn.scid,
-            packet_number=conn.next_packet_number + 1,
-            payload=handshake_payload,
-            pn_length=1,
-        )
-        conn.next_packet_number += 2
-        profile = self.profile
-        if conn.coalesced:
-            data = encode_datagram(
-                [initial_pkt, handshake_pkt],
-                conn.protection,
-                is_server=True,
-                pad_to=profile.coalesced_datagram_size,
-            )
-            lengths = [len(data)]
-            self._reply(request, conn.vip, data)
+        if hotpath.enabled:
+            flight = conn.flight_layout
+            if flight is None:
+                key = (conn.version, len(conn.client_cid), len(conn.scid), conn.coalesced)
+                layout = self._flight_layouts.get(key)
+                if layout is None:
+                    layout = self._flight_layouts[key] = _FlightLayout(self, *key)
+                flight = conn.flight_layout = layout.bind(conn)
+            rng = conn.rng if conn.rng is not None else self.rng
+            datagrams = flight.datagrams(conn, rng)
         else:
-            first = encode_datagram(
-                [initial_pkt],
-                conn.protection,
-                is_server=True,
-                pad_to=profile.initial_datagram_size,
-            )
-            second = encode_datagram(
-                [handshake_pkt],
-                conn.protection,
-                is_server=True,
-                pad_to=profile.handshake_datagram_size,
-            )
-            lengths = [len(first), len(second)]
-            self._reply(request, conn.vip, first)
-            self._reply(request, conn.vip, second)
+            datagrams = self._flight_datagrams_rebuild(conn)
+        profile = self.profile
+        lengths = [len(data) for data in datagrams]
+        for data in datagrams:
+            self._reply(request, conn.vip, data)
         if span is not None:
             span.note(packets=len(lengths), bytes=sum(lengths))
         self.stats.flights_sent += 1
@@ -696,6 +867,61 @@ class QuicServerEngine:
                 bytes=sum(lengths),
                 packets=2,
             )
+
+    def _flight_datagrams_rebuild(self, conn: ServerConnection) -> list[bytes]:
+        """Frame-by-frame reference flight (parity baseline for layouts)."""
+        initial_payload = encode_frames(
+            [
+                AckFrame(largest_acked=0, ranges=(AckRange(0, 0),)),
+                CryptoFrame(offset=0, data=self._server_hello_bytes(conn)),
+            ]
+        )
+        handshake_payload = encode_frames(
+            [CryptoFrame(offset=0, data=self._handshake_crypto())]
+        )
+        initial_pkt = LongHeaderPacket(
+            packet_type=PacketType.INITIAL,
+            version=conn.version,
+            dcid=conn.client_cid,
+            scid=conn.scid,
+            packet_number=conn.next_packet_number,
+            payload=initial_payload,
+            pn_length=1,
+        )
+        handshake_pkt = LongHeaderPacket(
+            packet_type=PacketType.HANDSHAKE,
+            version=conn.version,
+            dcid=conn.client_cid,
+            scid=conn.scid,
+            packet_number=conn.next_packet_number + 1,
+            payload=handshake_payload,
+            pn_length=1,
+        )
+        conn.next_packet_number += 2
+        profile = self.profile
+        if conn.coalesced:
+            return [
+                encode_datagram(
+                    [initial_pkt, handshake_pkt],
+                    conn.protection,
+                    is_server=True,
+                    pad_to=profile.coalesced_datagram_size,
+                )
+            ]
+        return [
+            encode_datagram(
+                [initial_pkt],
+                conn.protection,
+                is_server=True,
+                pad_to=profile.initial_datagram_size,
+            ),
+            encode_datagram(
+                [handshake_pkt],
+                conn.protection,
+                is_server=True,
+                pad_to=profile.handshake_datagram_size,
+            ),
+        ]
 
     def _send_version_negotiation(self, request: UdpDatagram, parsed) -> None:
         packet = VersionNegotiationPacket(

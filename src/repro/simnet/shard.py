@@ -41,7 +41,7 @@ import os
 from dataclasses import dataclass, field
 from typing import Optional, Sequence
 
-from repro.netstack.pcap import merge_pcap_files, record_sort_key, write_pcap
+from repro.netstack.pcap import merge_pcap_files, write_pcap
 from repro.obs import NULL_OBS, Observability
 from repro.obs.progress import HeartbeatWriter, clean_progress_dir, expected_events
 from repro.obs.trace import CAT_SIM
@@ -127,6 +127,24 @@ def plan_shards(config: ScenarioConfig, workers: int) -> list[Shard]:
     return shards
 
 
+def resolve_workers(workers, config: ScenarioConfig) -> int:
+    """Resolve a ``--workers`` value (an int or ``"auto"``) to a count.
+
+    ``auto`` picks ``min(os.cpu_count(), planned shards)`` — more workers
+    than shards would sit idle, and :func:`plan_shards` drops empty
+    buckets anyway.  On a 1-CPU box it falls back to the serial path (1):
+    BENCH_shard.json measured the fork-pool at 0.77–0.88× of serial
+    there, so parallelism is only worth its overhead with ≥2 CPUs.
+    """
+    if workers != "auto":
+        return int(workers)
+    cpus = os.cpu_count() or 1
+    if cpus < 2:
+        return 1
+    planned = len(plan_shards(config, cpus))
+    return max(1, min(cpus, planned))
+
+
 def run_shard(
     config: ScenarioConfig,
     unit_names: Optional[Sequence[str]] = None,
@@ -182,7 +200,7 @@ def run_shard(
         raise RuntimeError(
             "shard finished with %d events still queued" % loop.pending
         )
-    records = sorted(scenario.telescope.records, key=record_sort_key)
+    records = scenario.telescope.capture.sorted_records()
     if heartbeat is not None:
         heartbeat.update(
             "done",

@@ -12,8 +12,9 @@ from __future__ import annotations
 from typing import BinaryIO, Iterable
 
 from repro.netstack.addr import Prefix
+from repro.netstack.capbuf import CaptureBuffer
 from repro.netstack.pcap import PcapReader, PcapRecord, PcapWriter
-from repro.netstack.udp import QUIC_PORT, UdpDatagram, encode_udp
+from repro.netstack.udp import QUIC_PORT, UdpDatagram, encode_udp_into
 from repro.obs import NULL_OBS, Observability
 from repro.obs.trace import CAT_TELESCOPE
 from repro.simnet.network import Device
@@ -39,7 +40,10 @@ class Telescope(Device):
         if isinstance(prefix, str):
             prefix = Prefix.parse(prefix)
         self.prefix = prefix
-        self.records: list[PcapRecord] = []
+        #: Columnar packet store; ``self.records`` stays a sequence of
+        #: :class:`PcapRecord` (a lazy view) for every existing consumer.
+        self.capture = CaptureBuffer()
+        self.records = self.capture.records
         obs = obs or NULL_OBS
         self._tracer = obs.tracer
         if obs.metrics is not None:
@@ -55,7 +59,13 @@ class Telescope(Device):
         return [self.prefix]
 
     def handle_datagram(self, datagram: UdpDatagram, now: float) -> None:
-        self.records.append(PcapRecord(timestamp=now, data=encode_udp(datagram)))
+        # Encapsulate straight into the contiguous capture buffer (the
+        # flow template appends header + payload with no whole-packet
+        # intermediate), then commit the ts/offset/length columns.
+        capture = self.capture
+        start = len(capture.data)
+        encode_udp_into(capture.data, datagram)
+        capture.commit(now, start)
         if self._m_captured is not None or self._tracer.enabled:
             # Candidate class from ports alone (sanitization refines later).
             if datagram.src_port == QUIC_PORT:
@@ -80,7 +90,7 @@ class Telescope(Device):
 
     # -- persistence -----------------------------------------------------------
     def write_pcap(self, fileobj: BinaryIO) -> None:
-        PcapWriter(fileobj).write_all(self.records)
+        self.capture.write_to(PcapWriter(fileobj))
 
     @classmethod
     def load_records(cls, fileobj: BinaryIO) -> list[PcapRecord]:

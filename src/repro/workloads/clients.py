@@ -40,6 +40,16 @@ from repro.server.engine import CERT_MAGIC
 from repro.tls.certs import Certificate, CertificateError
 from repro.tls.handshake import ClientHello, TlsParseError, decode_handshake, encode_handshake
 
+#: Frame payloads of the confirmation flight, encoded once at import: the
+#: Initial ACK and the Handshake "finished" CRYPTO are byte-identical for
+#: every client, so per-connection work on this emitter reduces to header
+#: templating + sealing inside :func:`~repro.quic.packet.encode_datagram`
+#: (the write-side template plane; see ARCHITECTURE.md).
+_CONFIRM_ACK_PAYLOAD = encode_frames(
+    [AckFrame(largest_acked=0, ranges=(AckRange(0, 0),))]
+)
+_CONFIRM_FINISHED_PAYLOAD = encode_frames([CryptoFrame(offset=0, data=b"finished")])
+
 
 @dataclass
 class HandshakeResult:
@@ -248,14 +258,13 @@ class ClientConnection:
     def _confirmation_datagram(self) -> UdpDatagram:
         """Initial ACK + Handshake — the flight that establishes the server."""
         server_scid = self.result.server_scid
-        ack = encode_frames([AckFrame(largest_acked=0, ranges=(AckRange(0, 0),))])
         initial_ack = LongHeaderPacket(
             packet_type=PacketType.INITIAL,
             version=self.version,
             dcid=server_scid,
             scid=self.scid,
             packet_number=1,
-            payload=ack,
+            payload=_CONFIRM_ACK_PAYLOAD,
             pn_length=1,
         )
         handshake = LongHeaderPacket(
@@ -264,7 +273,7 @@ class ClientConnection:
             dcid=server_scid,
             scid=self.scid,
             packet_number=0,
-            payload=encode_frames([CryptoFrame(offset=0, data=b"finished")]),
+            payload=_CONFIRM_FINISHED_PAYLOAD,
             pn_length=1,
         )
         data = encode_datagram(

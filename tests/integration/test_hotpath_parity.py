@@ -1,0 +1,50 @@
+"""End-to-end parity gate for the write-side template plane.
+
+The strongest form of the hot-path contract: the same scenario simulated
+with the fast paths on and off writes byte-identical pcaps, and the
+``--workers auto`` spelling resolves to a run that matches an explicit
+worker count.
+"""
+
+import filecmp
+
+import pytest
+
+from repro import hotpath
+from repro.cli import main
+from repro.quic.crypto.memo import clear_crypto_memos
+
+
+@pytest.fixture(autouse=True)
+def _hotpath_reset():
+    clear_crypto_memos()
+    hotpath.set_enabled(True)
+    yield
+    clear_crypto_memos()
+    hotpath.set_enabled(True)
+
+
+def test_pcap_identical_with_hotpath_disabled(tmp_path):
+    fast = str(tmp_path / "fast.pcap")
+    slow = str(tmp_path / "slow.pcap")
+    assert main(["simulate", fast, "--scale", "0.02", "--seed", "42"]) == 0
+    hotpath.set_enabled(False)
+    clear_crypto_memos()
+    assert main(["simulate", slow, "--scale", "0.02", "--seed", "42"]) == 0
+    assert filecmp.cmp(fast, slow, shallow=False)
+
+
+def test_workers_auto_matches_serial(tmp_path):
+    auto = str(tmp_path / "auto.pcap")
+    serial = str(tmp_path / "serial.pcap")
+    assert (
+        main(["simulate", auto, "--scale", "0.02", "--seed", "42", "--workers", "auto"])
+        == 0
+    )
+    assert main(["simulate", serial, "--scale", "0.02", "--seed", "42"]) == 0
+    assert filecmp.cmp(auto, serial, shallow=False)
+
+
+def test_workers_rejects_garbage():
+    with pytest.raises(SystemExit):
+        main(["simulate", "/tmp/x.pcap", "--workers", "many"])

@@ -329,6 +329,136 @@ class TestRuleTable:
         rows = rule_table()
         ids = [row[0] for row in rows]
         assert {"DET001", "DET002", "DET003", "DET004", "DET005",
-                "OBS001", "MP001"} == set(ids)
+                "OBS001", "MP001", "PERF001"} == set(ids)
         for _id, title, doc in rows:
             assert title and doc
+
+
+class TestPERF001PacketHotLoop:
+    HOT = "src/repro/quic/fake.py"
+
+    def test_bytes_accumulation_in_hot_loop_fires(self):
+        findings = findings_for(
+            """
+            def build(packets):
+                out = b""
+                for packet in packets:
+                    out += packet
+                return out
+            """,
+            path=self.HOT,
+        )
+        assert [f.rule for f in findings] == ["PERF001"]
+        assert findings[0].line == 5
+        assert "O(n" in findings[0].message
+
+    def test_schedule_builder_in_hot_loop_fires(self):
+        assert rules_hit(
+            """
+            from repro.quic.crypto.gcm import AesGcm
+
+            def seal_all(key, packets):
+                for packet in packets:
+                    AesGcm(key).seal(b"\\x00" * 12, packet, b"")
+            """,
+            path=self.HOT,
+        ) == ["PERF001"]
+
+    def test_derive_initial_keys_in_while_loop_fires(self):
+        assert rules_hit(
+            """
+            from repro.quic.crypto.initial import derive_initial_keys
+
+            def churn(dcids):
+                while dcids:
+                    keys = derive_initial_keys(1, dcids.pop())
+            """,
+            path="src/repro/netstack/fake.py",
+        ) == ["PERF001"]
+
+    def test_server_engine_is_hot(self):
+        assert rules_hit(
+            """
+            def flights(conns):
+                data = b""
+                for conn in conns:
+                    data += conn.flight
+            """,
+            path="src/repro/server/engine.py",
+        ) == ["PERF001"]
+
+    def test_cold_module_stays_silent(self):
+        assert (
+            rules_hit(
+                """
+                def build(packets):
+                    out = b""
+                    for packet in packets:
+                        out += packet
+                    return out
+                """,
+                path="src/repro/workloads/fake.py",
+            )
+            == []
+        )
+
+    def test_bytearray_accumulator_is_exempt(self):
+        assert (
+            rules_hit(
+                """
+                def build(packets):
+                    out = bytearray()
+                    for packet in packets:
+                        out += packet
+                    return bytes(out)
+                """,
+                path=self.HOT,
+            )
+            == []
+        )
+
+    def test_one_shot_work_outside_loop_is_silent(self):
+        assert (
+            rules_hit(
+                """
+                from repro.quic.crypto.gcm import AesGcm
+
+                def seal_all(key, packets):
+                    gcm = AesGcm(key)
+                    sealed = b""
+                    sealed += b"header"
+                    return [gcm.seal(b"\\x00" * 12, p, b"") for p in packets]
+                """,
+                path=self.HOT,
+            )
+            == []
+        )
+
+    def test_pragma_suppresses(self):
+        assert (
+            rules_hit(
+                """
+                def build(packets):
+                    out = b""
+                    for packet in packets:
+                        out += packet  # repro: allow(PERF001) -- tiny bounded loop
+                    return out
+                """,
+                path=self.HOT,
+            )
+            == []
+        )
+
+    def test_nested_loop_reported_once(self):
+        findings = findings_for(
+            """
+            def build(batches):
+                out = b""
+                for batch in batches:
+                    for packet in batch:
+                        out += packet
+                return out
+            """,
+            path=self.HOT,
+        )
+        assert [f.rule for f in findings] == ["PERF001"]

@@ -82,3 +82,37 @@ class TestCheckersJsonMode:
         assert doc["tool"] == "check-speedscope"
         assert doc["ok"] is False
         assert any("$schema" in f["message"] for f in doc["findings"])
+
+    def test_bench_json_all_repo_files_valid(self):
+        result = self.run_checker("check_bench_json.py")
+        assert result.returncode == 0, result.stderr
+        doc = json.loads(result.stdout)
+        assert doc["tool"] == "check-bench-json"
+        assert doc["ok"] is True and doc["checked"] >= 7
+
+    def test_bench_json_flags_non_finite_numbers(self, tmp_path):
+        bad = tmp_path / "BENCH_bad.json"
+        bad.write_text('{"arms": {"speedup": NaN}}')
+        result = self.run_checker("check_bench_json.py", str(bad))
+        assert result.returncode == 1
+        doc = json.loads(result.stdout)
+        assert doc["ok"] is False
+        assert any("non-finite" in f["message"] for f in doc["findings"])
+
+    def test_bench_json_requires_hotpath_gate_keys(self, tmp_path):
+        stale = tmp_path / "BENCH_hotpath.json"
+        stale.write_text('{"arms": {"flight_emission": {"speedup": 3.0}}}')
+        result = self.run_checker("check_bench_json.py", str(stale))
+        assert result.returncode == 1
+        doc = json.loads(result.stdout)
+        messages = [f["message"] for f in doc["findings"]]
+        assert any("initial_keys_memo" in m for m in messages)
+        assert any("parity.pcap_identical" in m for m in messages)
+
+    def test_bench_json_rejects_empty_object(self, tmp_path):
+        empty = tmp_path / "BENCH_empty.json"
+        empty.write_text("{}")
+        result = self.run_checker("check_bench_json.py", str(empty))
+        assert result.returncode == 1
+        doc = json.loads(result.stdout)
+        assert any("empty" in f["message"] for f in doc["findings"])

@@ -1,0 +1,213 @@
+"""Write-side template/memo plane: byte parity against the rebuild paths.
+
+Every fast path introduced by the hot-path refactor (crypto memoization,
+packet templates, flow templates, the engine's flight layouts) keeps its
+pre-refactor implementation alive as the reference; these tests pin the
+contract that both produce identical bytes, so the speedup can never
+drift the simulation's output.
+"""
+
+import random
+
+import pytest
+
+from repro import hotpath
+from repro.quic.crypto.aes import AES128
+from repro.quic.crypto.gcm import AesGcm
+from repro.quic.crypto.initial import derive_initial_keys
+from repro.quic.crypto.memo import (
+    cached_aes,
+    cached_gcm,
+    cached_initial_keys,
+    clear_crypto_memos,
+    memo_stats,
+)
+from repro.quic.crypto.suites import FastProtection, NullProtection, Rfc9001Protection
+from repro.quic.packet import (
+    LongHeaderPacket,
+    PacketType,
+    ShortHeaderPacket,
+    encode_datagram,
+    encode_packet,
+    encode_short_packet,
+)
+
+
+@pytest.fixture(autouse=True)
+def _fresh_memos():
+    clear_crypto_memos()
+    hotpath.set_enabled(True)
+    yield
+    clear_crypto_memos()
+    hotpath.set_enabled(True)
+
+
+class TestLruCache:
+    def test_get_or_build_caches(self):
+        from repro.hotpath import LruCache
+
+        cache = LruCache(4)
+        built = []
+
+        def factory():
+            built.append(1)
+            return len(built)
+
+        assert cache.get_or_build("a", factory) == 1
+        assert cache.get_or_build("a", factory) == 1
+        assert built == [1]
+        assert cache.hits == 1
+        assert cache.misses == 1
+
+    def test_evicts_least_recently_used(self):
+        from repro.hotpath import LruCache
+
+        cache = LruCache(2)
+        cache.get_or_build("a", lambda: "A")
+        cache.get_or_build("b", lambda: "B")
+        cache.get_or_build("a", lambda: "A")  # refresh a; b is now oldest
+        cache.get_or_build("c", lambda: "C")  # evicts b
+        rebuilt = []
+        cache.get_or_build("b", lambda: rebuilt.append(1) or "B2")
+        assert rebuilt == [1]
+
+    def test_disabled_context_bypasses(self):
+        assert hotpath.enabled
+        with hotpath.disabled():
+            assert not hotpath.enabled
+        assert hotpath.enabled
+
+
+class TestCryptoMemoParity:
+    def test_initial_keys_identical_across_1000_dcids(self):
+        rng = random.Random(20260807)
+        dcids = [rng.getrandbits(64).to_bytes(8, "big") for _ in range(1000)]
+        for dcid in dcids:
+            cached = cached_initial_keys(1, dcid)
+            fresh = derive_initial_keys(1, dcid)
+            assert cached.client == fresh.client
+            assert cached.server == fresh.server
+
+    def test_initial_keys_cache_hit_returns_same_object(self):
+        dcid = b"\x42" * 8
+        assert cached_initial_keys(1, dcid) is cached_initial_keys(1, dcid)
+
+    def test_initial_keys_keyed_by_version(self):
+        dcid = b"\x42" * 8
+        v1 = cached_initial_keys(1, dcid)
+        draft = cached_initial_keys(0xFF00001D, dcid)
+        assert v1 != draft
+
+    def test_aes_schedule_identical_across_keys(self):
+        rng = random.Random(7)
+        block = b"\x5a" * 16
+        for _ in range(50):
+            key = rng.getrandbits(128).to_bytes(16, "big")
+            assert cached_aes(key).encrypt_block(block) == AES128(
+                key
+            ).encrypt_block(block)
+
+    def test_ghash_schedule_identical_across_keys(self):
+        rng = random.Random(8)
+        nonce = b"\x01" * 12
+        for _ in range(25):
+            key = rng.getrandbits(128).to_bytes(16, "big")
+            sealed = cached_gcm(key).seal(nonce, b"payload", b"aad")
+            assert sealed == AesGcm(key).seal(nonce, b"payload", b"aad")
+
+    def test_disabled_hotpath_skips_cache(self):
+        with hotpath.disabled():
+            cached_initial_keys(1, b"\x01" * 8)
+        stats = memo_stats()
+        assert stats["initial_keys"] == {"hits": 0, "misses": 0}
+
+    def test_memo_stats_counts(self):
+        cached_initial_keys(1, b"\x02" * 8)
+        cached_initial_keys(1, b"\x02" * 8)
+        stats = memo_stats()
+        assert stats["initial_keys"] == {"hits": 1, "misses": 1}
+
+
+def _flight_packets(version=1, pn=3, token=b""):
+    initial = LongHeaderPacket(
+        packet_type=PacketType.INITIAL,
+        version=version,
+        dcid=b"\x11" * 8,
+        scid=b"\x22" * 8,
+        packet_number=pn,
+        payload=b"\xaa" * 620,
+        pn_length=1,
+        token=token,
+    )
+    handshake = LongHeaderPacket(
+        packet_type=PacketType.HANDSHAKE,
+        version=version,
+        dcid=b"\x11" * 8,
+        scid=b"\x22" * 8,
+        packet_number=pn + 1,
+        payload=b"\xbb" * 660,
+        pn_length=1,
+    )
+    return initial, handshake
+
+
+SUITES = (FastProtection, NullProtection, Rfc9001Protection)
+
+
+class TestTemplateParity:
+    @pytest.mark.parametrize("suite", SUITES, ids=lambda s: s.name)
+    def test_encode_packet_matches_rebuild(self, suite):
+        protection = suite(1, b"\x11" * 8)
+        initial, handshake = _flight_packets()
+        for packet in (initial, handshake):
+            fast = encode_packet(packet, protection, is_server=True)
+            with hotpath.disabled():
+                slow = encode_packet(packet, protection, is_server=True)
+            assert fast == slow
+
+    @pytest.mark.parametrize("suite", SUITES, ids=lambda s: s.name)
+    @pytest.mark.parametrize("pad_to", (0, 1200, 1357))
+    def test_encode_datagram_matches_rebuild(self, suite, pad_to):
+        protection = suite(1, b"\x11" * 8)
+        initial, handshake = _flight_packets()
+        fast = encode_datagram(
+            [initial, handshake], protection, is_server=True, pad_to=pad_to
+        )
+        with hotpath.disabled():
+            slow = encode_datagram(
+                [initial, handshake], protection, is_server=True, pad_to=pad_to
+            )
+        assert fast == slow
+
+    def test_encode_datagram_with_token_matches_rebuild(self):
+        protection = FastProtection(1, b"\x11" * 8)
+        initial, _ = _flight_packets(token=b"\xf0\x0d" * 8)
+        fast = encode_datagram([initial], protection, is_server=False, pad_to=1200)
+        with hotpath.disabled():
+            slow = encode_datagram(
+                [initial], protection, is_server=False, pad_to=1200
+            )
+        assert fast == slow
+
+    @pytest.mark.parametrize("pn_length", (1, 2, 3, 4))
+    def test_short_packet_matches_rebuild(self, pn_length):
+        protection = FastProtection(1, b"\x11" * 8)
+        packet = ShortHeaderPacket(
+            dcid=b"\x33" * 8,
+            packet_number=0x1234,
+            payload=b"\xcc" * 64,
+            pn_length=pn_length,
+            spin_bit=bool(pn_length % 2),
+        )
+        fast = encode_short_packet(packet, protection, is_server=True)
+        with hotpath.disabled():
+            slow = encode_short_packet(packet, protection, is_server=True)
+        assert fast == slow
+
+    def test_fused_fast_protect_matches_driver(self):
+        protection = FastProtection(1, b"\x77" * 8)
+        header = b"\xc0\x00\x00\x00\x01\x08" + b"\x11" * 8 + b"\x00\x41\x00\x07"
+        fast = protection.protect(True, header, 7, b"\x55" * 200)
+        with hotpath.disabled():
+            slow = protection.protect(True, header, 7, b"\x55" * 200)
+        assert fast == slow

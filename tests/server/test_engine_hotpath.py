@@ -1,0 +1,154 @@
+"""Flight-template parity: template-spliced vs. freshly-built server flights.
+
+The engine's ``_send_flight_inner`` has two arms — the shape-keyed flight
+layout (fast) and the per-flight frame/packet rebuild (reference).  For
+every server profile, driving identical client Initials through both arms
+must yield byte-identical datagrams; the rng draw order is part of the
+contract (one 256-bit draw per flight, before the packet numbers advance).
+"""
+
+import random
+
+import pytest
+
+from repro import hotpath
+from repro.netstack.addr import parse_ip
+from repro.quic.crypto.memo import clear_crypto_memos
+from repro.server.engine import QuicServerEngine
+from repro.server.profiles import (
+    cloudflare_profile,
+    facebook_profile,
+    generic_profile,
+    google_profile,
+    quic_lb_profile,
+)
+from repro.simnet.eventloop import EventLoop
+from repro.tls.certs import Certificate
+from repro.workloads.clients import ClientConnection
+
+VIP = parse_ip("157.240.1.10")
+CLIENT = parse_ip("44.1.2.3")
+
+CERT = Certificate(
+    subject="*.example.com", subject_alt_names=("*.example.com", "*.example.net")
+)
+
+PROFILES = {
+    "cloudflare": lambda: cloudflare_profile(colo_id=3),
+    "facebook": lambda: facebook_profile(),
+    "google": lambda: google_profile(),
+    "quic_lb": lambda: quic_lb_profile(),
+    "generic": lambda: generic_profile("generic-1234", random.Random(1234)),
+}
+
+
+@pytest.fixture(autouse=True)
+def _hotpath_reset():
+    clear_crypto_memos()
+    hotpath.set_enabled(True)
+    yield
+    clear_crypto_memos()
+    hotpath.set_enabled(True)
+
+
+def _run_flights(profile_factory, certificate, enabled, clients=12):
+    """Drive ``clients`` fresh handshakes through one engine arm."""
+    hotpath.set_enabled(enabled)
+    sent = []
+    engine = QuicServerEngine(
+        profile=profile_factory(),
+        loop=EventLoop(),
+        rng=random.Random(5),
+        send=sent.append,
+        host_id=7,
+        worker_id=3,
+        certificate=certificate,
+    )
+    version = engine.profile.supported_versions[0]
+    client_rng = random.Random(77)
+    for port in range(4242, 4242 + clients):
+        connection = ClientConnection(
+            rng=client_rng,
+            src_ip=CLIENT,
+            src_port=port,
+            dst_ip=VIP,
+            version=version,
+        )
+        engine.on_datagram(connection.initial_datagram(), 0.0)
+    return [d.payload for d in sent]
+
+
+@pytest.mark.parametrize("name", sorted(PROFILES))
+def test_flights_byte_identical_per_profile(name):
+    factory = PROFILES[name]
+    fast = _run_flights(factory, None, enabled=True)
+    slow = _run_flights(factory, None, enabled=False)
+    assert fast, "no flights were emitted"
+    assert fast == slow
+
+
+@pytest.mark.parametrize("name", ("cloudflare", "google"))
+def test_flights_byte_identical_with_certificate(name):
+    factory = PROFILES[name]
+    fast = _run_flights(factory, CERT, enabled=True)
+    slow = _run_flights(factory, CERT, enabled=False)
+    assert fast == slow
+    # The certificate actually changes the flight (it rides in the
+    # Handshake CRYPTO stream), so parity above is not vacuous.
+    assert fast != _run_flights(factory, None, enabled=True)
+
+
+def test_retransmitted_flights_stay_identical():
+    """The second flight of a connection reuses its bound layout."""
+
+    def run(enabled):
+        hotpath.set_enabled(enabled)
+        sent = []
+        engine = QuicServerEngine(
+            profile=facebook_profile(),
+            loop=EventLoop(),
+            rng=random.Random(5),
+            send=sent.append,
+            host_id=7,
+            worker_id=3,
+        )
+        connection = ClientConnection(
+            rng=random.Random(77),
+            src_ip=CLIENT,
+            src_port=4242,
+            dst_ip=VIP,
+            version=engine.profile.supported_versions[0],
+        )
+        datagram = connection.initial_datagram()
+        engine.on_datagram(datagram, 0.0)
+        engine.on_datagram(datagram, 0.5)  # duplicate triggers a re-flight
+        return [d.payload for d in sent]
+
+    assert run(True) == run(False)
+
+
+def test_layouts_shared_across_connections():
+    """Same flight shape → one `_FlightLayout`, per-connection binds."""
+    hotpath.set_enabled(True)
+    sent = []
+    engine = QuicServerEngine(
+        profile=facebook_profile(),
+        loop=EventLoop(),
+        rng=random.Random(5),
+        send=sent.append,
+        host_id=7,
+        worker_id=3,
+    )
+    version = engine.profile.supported_versions[0]
+    client_rng = random.Random(77)
+    for port in (4242, 4243, 4244):
+        connection = ClientConnection(
+            rng=client_rng,
+            src_ip=CLIENT,
+            src_port=port,
+            dst_ip=VIP,
+            version=version,
+        )
+        engine.on_datagram(connection.initial_datagram(), 0.0)
+    assert len(engine._flight_layouts) == 1
+    assert sent

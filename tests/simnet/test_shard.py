@@ -180,3 +180,49 @@ class TestShardDataclass:
         shard = Shard(index=0, seed=1, units=tuple(units))
         assert shard.weight == sum(u.weight for u in units)
         assert shard.unit_names == tuple(u.name for u in units)
+
+
+class TestResolveWorkers:
+    """`--workers auto` heuristic: min(cpu_count, planned shards), serial on 1 CPU."""
+
+    def test_explicit_counts_pass_through(self):
+        from repro.simnet.shard import resolve_workers
+
+        assert resolve_workers(1, CONFIG) == 1
+        assert resolve_workers(4, CONFIG) == 4
+        assert resolve_workers("8", CONFIG) == 8
+
+    def test_auto_serial_on_single_cpu(self, monkeypatch):
+        import os
+
+        from repro.simnet import shard
+
+        monkeypatch.setattr(os, "cpu_count", lambda: 1)
+        assert shard.resolve_workers("auto", CONFIG) == 1
+
+    def test_auto_serial_when_cpu_count_unknown(self, monkeypatch):
+        import os
+
+        from repro.simnet import shard
+
+        monkeypatch.setattr(os, "cpu_count", lambda: None)
+        assert shard.resolve_workers("auto", CONFIG) == 1
+
+    def test_auto_caps_at_cpu_count(self, monkeypatch):
+        import os
+
+        from repro.simnet import shard
+
+        monkeypatch.setattr(os, "cpu_count", lambda: 3)
+        resolved = shard.resolve_workers("auto", CONFIG)
+        assert resolved == min(3, len(plan_shards(CONFIG, 3)))
+
+    def test_auto_caps_at_planned_shards(self, monkeypatch):
+        import os
+
+        from repro.simnet import shard
+
+        monkeypatch.setattr(os, "cpu_count", lambda: 4096)
+        resolved = shard.resolve_workers("auto", CONFIG)
+        assert resolved == len(plan_shards(CONFIG, 4096))
+        assert resolved >= 1
